@@ -1,0 +1,63 @@
+// E5 — Sec. 4.3: for multi-output circuits, interpolating Eqs. (7)/(8) can
+// fail (the on/off pair is satisfiable) even though the instance is
+// rectifiable; taking the on-set function always succeeds. We measure how
+// often interpolation applies across randomized multi-output multi-target
+// instances, and confirm the fallback path never loses an instance.
+
+#include <cstdio>
+
+#include "benchgen/benchgen.h"
+#include "eco/engine.h"
+
+int main() {
+  using namespace eco;
+
+  std::printf("E5: interpolation applicability on multi-output instances "
+              "(Sec. 4.3)\n");
+  std::printf("%-10s %8s %8s %8s %8s %10s\n", "family", "#inst", "targets",
+              "itp ok", "itp fail", "all fixed?");
+
+  struct Row {
+    benchgen::Family family;
+    std::uint32_t size_param;
+    std::uint32_t targets;
+    const char* label;
+  };
+  const Row rows[] = {
+      {benchgen::Family::Adder, 6, 2, "adder"},
+      {benchgen::Family::Comparator, 6, 3, "comparator"},
+      {benchgen::Family::Alu, 5, 3, "alu"},
+      {benchgen::Family::Parity, 12, 2, "parity"},
+      {benchgen::Family::Random, 250, 3, "random"},
+  };
+
+  int rc = 0;
+  for (const Row& row : rows) {
+    const int n_inst = 10;
+    std::uint32_t ok = 0, fail = 0, fixed = 0;
+    for (int i = 0; i < n_inst; ++i) {
+      benchgen::UnitSpec spec{.name = "e5",
+                              .family = row.family,
+                              .size_param = row.size_param,
+                              .num_targets = row.targets,
+                              .seed = 1000 + static_cast<std::uint64_t>(i)};
+      const EcoInstance inst = benchgen::generateUnit(spec);
+      EcoOptions opt;
+      opt.try_interpolation_first = true;  // exercise the failure path
+      opt.use_cost_opt = false;            // isolate phase-1 behaviour
+      const PatchResult r = EcoEngine(opt).run(inst);
+      if (r.success) ++fixed;
+      fail += r.itp_failures;
+      // Per-target attempts = targets; successes = attempts - failures.
+      ok += inst.numTargets() - r.itp_failures;
+    }
+    std::printf("%-10s %8d %8u %8u %8u %9s\n", row.label, n_inst,
+                row.targets * n_inst, ok, fail,
+                fixed == n_inst ? "yes" : "NO");
+    if (fixed != n_inst) rc = 1;
+  }
+  std::printf("\nexpected shape: a nonzero interpolation-failure count on at\n"
+              "least some multi-output families, yet every instance fixed —\n"
+              "the on-set fallback keeps the algorithm complete.\n");
+  return rc;
+}

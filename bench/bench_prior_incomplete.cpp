@@ -1,0 +1,83 @@
+// E6 — incompleteness of the prior independent-fix method ([19]-style) on
+// pre-specified multi-target instances, vs the completeness of Algorithm 1.
+// The paper motivates multi-fix generation precisely with this failure
+// mode: "fixing an erroneous function e_i might make others unrectifiable".
+
+#include <cstdio>
+
+#include "benchgen/benchgen.h"
+#include "eco/baseline.h"
+#include "eco/engine.h"
+
+namespace {
+
+/// The canonical coupled instance: o = t0 xor t1, golden o = x. The
+/// independent fix (other target tied to 0) derives t0 = x and t1 = x,
+/// whose composition is constant 0.
+eco::EcoInstance xorCoupled() {
+  using namespace eco;
+  EcoInstance inst;
+  const Lit a = inst.golden.addPi("x");
+  inst.golden.addPo(a, "o");
+  inst.faulty.addPi("x");
+  const Lit t0 = inst.faulty.addPi("t0");
+  const Lit t1 = inst.faulty.addPi("t1");
+  inst.num_x = 1;
+  inst.faulty.addPo(inst.faulty.mkXor(t0, t1), "o");
+  return inst;
+}
+
+}  // namespace
+
+int main() {
+  using namespace eco;
+
+  std::printf("E6: prior independent per-target fix [19] vs Algorithm 1\n\n");
+  {
+    const EcoInstance inst = xorCoupled();
+    const PatchResult prior = runTang11(inst);
+    const PatchResult ours = EcoEngine().run(inst);
+    std::printf("handcrafted xor-coupled instance: prior=%s, ours=%s\n",
+                prior.success ? "fixed" : "FAILS", ours.success ? "fixed" : "FAILS");
+  }
+
+  std::printf("\nrandomized multi-target sweep (same-cone targets):\n");
+  std::printf("%-10s %8s %12s %12s\n", "family", "#inst", "prior fixed",
+              "ours fixed");
+  struct Row {
+    benchgen::Family family;
+    std::uint32_t size_param;
+    const char* label;
+  };
+  const Row rows[] = {
+      {benchgen::Family::Adder, 6, "adder"},
+      {benchgen::Family::Alu, 5, "alu"},
+      {benchgen::Family::Random, 250, "random"},
+  };
+  int rc = 0;
+  std::uint32_t prior_total = 0, ours_total = 0, n_total = 0;
+  for (const Row& row : rows) {
+    const int n_inst = 10;
+    std::uint32_t prior_ok = 0, ours_ok = 0;
+    for (int i = 0; i < n_inst; ++i) {
+      benchgen::UnitSpec spec{.name = "e6",
+                              .family = row.family,
+                              .size_param = row.size_param,
+                              .num_targets = 3,
+                              .seed = 2000 + static_cast<std::uint64_t>(i)};
+      const EcoInstance inst = benchgen::generateUnit(spec);
+      if (runTang11(inst).success) ++prior_ok;
+      if (EcoEngine().run(inst).success) ++ours_ok;
+    }
+    std::printf("%-10s %8d %12u %12u\n", row.label, n_inst, prior_ok, ours_ok);
+    prior_total += prior_ok;
+    ours_total += ours_ok;
+    n_total += n_inst;
+    if (ours_ok != static_cast<std::uint32_t>(n_inst)) rc = 1;
+  }
+  std::printf("\ntotals: prior %u/%u, ours %u/%u\n", prior_total, n_total,
+              ours_total, n_total);
+  std::printf("expected shape: ours fixes every instance (the generator\n"
+              "guarantees rectifiability); the independent fix loses some.\n");
+  return rc;
+}

@@ -1,0 +1,164 @@
+// E7 — substrate micro-benchmarks (google-benchmark): CDCL solver on random
+// 3-SAT and pigeonhole, Tseitin encoding + interpolation queries,
+// bit-parallel simulation throughput, and FRAIG sweeping.
+
+#include <benchmark/benchmark.h>
+
+#include "aig/aig.h"
+#include "base/rng.h"
+#include "cnf/cnf.h"
+#include "fraig/fraig.h"
+#include "itp/itp.h"
+#include "sat/solver.h"
+#include "sim/sim.h"
+
+namespace {
+
+using namespace eco;
+
+void addRandom3Sat(sat::Solver& s, std::uint32_t vars, std::uint32_t clauses,
+                   Rng& rng) {
+  for (std::uint32_t v = 0; v < vars; ++v) s.newVar();
+  for (std::uint32_t i = 0; i < clauses; ++i) {
+    sat::SLit lits[3];
+    for (auto& l : lits) {
+      l = sat::SLit::make(static_cast<sat::Var>(rng.below(vars)),
+                          rng.chance(1, 2));
+    }
+    s.addClause(std::span<const sat::SLit>(lits, 3));
+  }
+}
+
+void BM_SolverRandom3Sat(benchmark::State& state) {
+  const auto vars = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    sat::Solver s;
+    addRandom3Sat(s, vars, vars * 4, rng);  // near the phase transition
+    benchmark::DoNotOptimize(s.solve());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SolverRandom3Sat)->Arg(50)->Arg(100)->Arg(150);
+
+void BM_SolverPigeonhole(benchmark::State& state) {
+  const int P = static_cast<int>(state.range(0));
+  const int H = P - 1;
+  for (auto _ : state) {
+    sat::Solver s;
+    std::vector<std::vector<sat::Var>> v(P, std::vector<sat::Var>(H));
+    for (auto& row : v) {
+      for (auto& var : row) var = s.newVar();
+    }
+    for (int p = 0; p < P; ++p) {
+      std::vector<sat::SLit> c;
+      for (int h = 0; h < H; ++h) c.push_back(sat::SLit::make(v[p][h], false));
+      s.addClause(c);
+    }
+    for (int h = 0; h < H; ++h) {
+      for (int p1 = 0; p1 < P; ++p1) {
+        for (int p2 = p1 + 1; p2 < P; ++p2) {
+          s.addClause({sat::SLit::make(v[p1][h], true),
+                       sat::SLit::make(v[p2][h], true)});
+        }
+      }
+    }
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SolverPigeonhole)->Arg(6)->Arg(7)->Arg(8);
+
+Aig randomCone(std::uint32_t pis, std::uint32_t ands, Rng& rng) {
+  Aig aig;
+  std::vector<Lit> pool;
+  for (std::uint32_t i = 0; i < pis; ++i) pool.push_back(aig.addPi(""));
+  for (std::uint32_t i = 0; i < ands; ++i) {
+    const Lit a = pool[rng.below(pool.size())] ^ rng.chance(1, 2);
+    const Lit b = pool[rng.below(pool.size())] ^ rng.chance(1, 2);
+    pool.push_back(aig.addAnd(a, b));
+  }
+  aig.addPo(pool.back(), "o");
+  return aig;
+}
+
+void BM_TseitinEncode(benchmark::State& state) {
+  Rng rng(7);
+  const Aig aig = randomCone(16, static_cast<std::uint32_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    sat::Solver s;
+    cnf::SolverSink sink(s);
+    cnf::CnfMap map;
+    for (std::uint32_t i = 0; i < aig.numPis(); ++i) {
+      map[aig.piVar(i)] = sat::SLit::make(s.newVar(), false);
+    }
+    benchmark::DoNotOptimize(cnf::encodeCone(aig, aig.poDriver(0), map, sink));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TseitinEncode)->Arg(1000)->Arg(10000);
+
+void BM_InterpolationQuery(benchmark::State& state) {
+  // A = cone asserted 1, B = same cone (fresh copy) asserted 0; interpolant
+  // over the PIs. Representative of SynthesizePatch.
+  Rng rng(11);
+  const Aig aig = randomCone(12, static_cast<std::uint32_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    itp::ItpJob job;
+    Aig result;
+    cnf::CnfMap map_a, map_b;
+    for (std::uint32_t i = 0; i < aig.numPis(); ++i) {
+      const sat::Var v = job.solver().newVar();
+      map_a[aig.piVar(i)] = sat::SLit::make(v, false);
+      map_b[aig.piVar(i)] = sat::SLit::make(v, false);
+      job.markShared(v, result.addPi(""));
+    }
+    const sat::SLit a = cnf::encodeCone(aig, aig.poDriver(0), map_a, job.sinkA());
+    job.addClauseA({a});
+    const sat::SLit b = cnf::encodeCone(aig, aig.poDriver(0), map_b, job.sinkB());
+    job.addClauseB({~b});
+    if (job.solve() == sat::Status::Unsat) {
+      benchmark::DoNotOptimize(job.buildInterpolant(result));
+    }
+  }
+}
+BENCHMARK(BM_InterpolationQuery)->Arg(200)->Arg(1000);
+
+void BM_Simulation(benchmark::State& state) {
+  Rng rng(23);
+  const Aig aig = randomCone(32, static_cast<std::uint32_t>(state.range(0)), rng);
+  sim::PatternSet patterns(aig.numPis(), 16);
+  patterns.randomize(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulateAll(aig, patterns));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 16 * 64);
+}
+BENCHMARK(BM_Simulation)->Arg(1000)->Arg(10000);
+
+void BM_FraigSweep(benchmark::State& state) {
+  Rng rng(31);
+  // Two structurally different copies of the same functions: plenty of
+  // cross-circuit equivalences, like the engine's FRAIG stage sees.
+  Aig aig;
+  std::vector<Lit> pool;
+  for (int i = 0; i < 12; ++i) pool.push_back(aig.addPi(""));
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Lit a = pool[rng.below(pool.size())] ^ rng.chance(1, 2);
+    const Lit b = pool[rng.below(pool.size())] ^ rng.chance(1, 2);
+    const Lit v = aig.addAnd(a, b);
+    pool.push_back(v);
+    // Redundant twin: v2 == v, different structure.
+    pool.push_back(aig.mkOr(aig.addAnd(v, a), aig.addAnd(v, !a)));
+  }
+  std::vector<Lit> roots(pool.end() - 8, pool.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fraig::computeEquivClasses(aig, roots));
+  }
+}
+BENCHMARK(BM_FraigSweep)->Arg(200)->Arg(800);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// E1 — Table 2 reproduction: cost, patch size, and runtime of the
+// winner-proxy baseline vs our full flow on the 20-unit synthetic contest
+// suite, with ratio columns (winner / ours) and geometric means.
+//
+// Matches the paper's column layout:
+//   ckt | #target | winner cost/size/time | ours cost/size/time | ratios
+//
+// Absolute values differ from the paper (synthetic benchmarks, our own
+// substrate); the *shape* to check is: parity on easy units, large cost and
+// size reductions on the difficult units (6, 10, 11, 19), geometric-mean
+// ratios comfortably below 1 for cost and size.
+
+#include <cmath>
+#include <cstdio>
+
+#include "benchgen/benchgen.h"
+#include "eco/baseline.h"
+#include "eco/engine.h"
+
+int main() {
+  using namespace eco;
+
+  std::printf("E1 / Table 2: winner proxy vs cost-aware multi-fix flow\n");
+  std::printf(
+      "%-8s %7s | %10s %6s %8s | %10s %6s %8s | %6s %6s %6s\n", "ckt",
+      "#target", "w.cost", "w.size", "w.time", "o.cost", "o.size", "o.time",
+      "r.cost", "r.size", "r.time");
+
+  double geo_cost = 0, geo_size = 0, geo_time = 0;
+  int counted = 0;
+  int failures = 0;
+
+  for (const auto& spec : benchgen::contestSuite()) {
+    const EcoInstance inst = benchgen::generateUnit(spec);
+    const PatchResult winner = runWinnerProxy(inst);
+    const PatchResult ours = EcoEngine().run(inst);
+    if (!winner.success || !ours.success) {
+      std::printf("%-8s %7u | FAILED (winner: %s / ours: %s)\n",
+                  spec.name.c_str(), inst.numTargets(),
+                  winner.success ? "ok" : winner.message.c_str(),
+                  ours.success ? "ok" : ours.message.c_str());
+      ++failures;
+      continue;
+    }
+    // Ratio convention follows the paper: winner-to-ours... the paper lists
+    // "ratios of the results of the contest winner to ours"; < 1 means the
+    // winner was better, > 1 means ours is better. To keep the table
+    // readable we print ours/winner (as in the paper's Table 2 numbers,
+    // where 0.02 on unit 6 marks a 47x win for the proposed method).
+    const auto safe = [](double num, double den) {
+      if (den <= 0) return num <= 0 ? 1.0 : num;
+      return num / den;
+    };
+    const double r_cost = safe(ours.cost, winner.cost);
+    const double r_size = safe(ours.size, winner.size);
+    const double r_time = safe(ours.seconds, winner.seconds);
+    std::printf(
+        "%-8s %7u | %10.1f %6u %7.2fs | %10.1f %6u %7.2fs | %6.3f %6.3f %6.2f\n",
+        spec.name.c_str(), inst.numTargets(), winner.cost, winner.size,
+        winner.seconds, ours.cost, ours.size, ours.seconds, r_cost, r_size,
+        r_time);
+    std::fflush(stdout);
+    geo_cost += std::log(std::max(r_cost, 1e-6));
+    geo_size += std::log(std::max(r_size, 1e-6));
+    geo_time += std::log(std::max(r_time, 1e-6));
+    ++counted;
+  }
+  if (counted > 0) {
+    std::printf("%-8s %7s | %27s | %27s | %6.3f %6.3f %6.2f   (geo. mean)\n",
+                "geomean", "", "", "", std::exp(geo_cost / counted),
+                std::exp(geo_size / counted), std::exp(geo_time / counted));
+  }
+  std::printf("\n%d/%d units rectified and SAT-verified by both engines\n",
+              counted, counted + failures);
+  return failures == 0 ? 0 : 1;
+}

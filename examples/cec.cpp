@@ -1,0 +1,118 @@
+// cec — combinational equivalence checker over the library's netlist
+// formats, built on the same miter + CDCL machinery the ECO engine uses
+// for patch verification.
+//
+//   cec A.v B.v          (also .aag / .aig / .blif, mixed freely)
+//
+// Exit codes: 0 equivalent, 1 usage/parse error, 2 not equivalent.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "aig/aig_ops.h"
+#include "cnf/cnf.h"
+#include "io/aiger.h"
+#include "io/blif.h"
+#include "io/verilog.h"
+#include "sat/solver.h"
+
+namespace {
+
+std::string readFile(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cec: cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+eco::Aig loadAny(const char* path) {
+  const std::string text = readFile(path);
+  const std::string p = path;
+  const auto ends_with = [&](const char* suf) {
+    const std::size_t n = std::strlen(suf);
+    return p.size() >= n && p.compare(p.size() - n, n, suf) == 0;
+  };
+  if (ends_with(".aag") || ends_with(".aig")) return eco::io::parseAiger(text);
+  if (ends_with(".blif")) return eco::io::parseBlif(text);
+  return eco::io::parseVerilog(text).aig;  // default: Verilog
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace eco;
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: cec <A.(v|aag|aig|blif)> <B.(v|aag|aig|blif)>\n");
+    return 1;
+  }
+  Aig a, b;
+  try {
+    a = loadAny(argv[1]);
+    b = loadAny(argv[2]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cec: %s\n", e.what());
+    return 1;
+  }
+  if (a.numPis() != b.numPis() || a.numPos() != b.numPos()) {
+    std::printf("NOT EQUIVALENT: interface mismatch (%u/%u inputs, %u/%u "
+                "outputs)\n",
+                a.numPis(), b.numPis(), a.numPos(), b.numPos());
+    return 2;
+  }
+
+  // Shared-input miter.
+  Aig miter;
+  VarMap ma, mb;
+  for (std::uint32_t i = 0; i < a.numPis(); ++i) {
+    const Lit x = miter.addPi(a.piName(i));
+    ma[a.piVar(i)] = x;
+    mb[b.piVar(i)] = x;
+  }
+  std::vector<Lit> ra, rb;
+  for (std::uint32_t j = 0; j < a.numPos(); ++j) ra.push_back(a.poDriver(j));
+  for (std::uint32_t j = 0; j < b.numPos(); ++j) rb.push_back(b.poDriver(j));
+  const std::vector<Lit> fa = copyCones(a, ra, ma, miter);
+  const std::vector<Lit> fb = copyCones(b, rb, mb, miter);
+
+  sat::Solver solver;
+  cnf::SolverSink sink(solver);
+  cnf::CnfMap map;
+  std::vector<sat::SLit> x_lits;
+  for (std::uint32_t i = 0; i < miter.numPis(); ++i) {
+    const sat::SLit l = sat::SLit::make(solver.newVar(), false);
+    map[miter.piVar(i)] = l;
+    x_lits.push_back(l);
+  }
+  std::vector<sat::SLit> diffs;
+  for (std::uint32_t j = 0; j < a.numPos(); ++j) {
+    diffs.push_back(
+        cnf::encodeCone(miter, miter.mkXor(fa[j], fb[j]), map, sink));
+  }
+  solver.addClause(diffs);
+
+  if (solver.solve() == sat::Status::Unsat) {
+    std::printf("EQUIVALENT (%u outputs proven)\n", a.numPos());
+    return 0;
+  }
+  std::printf("NOT EQUIVALENT; counterexample:");
+  for (std::uint32_t i = 0; i < miter.numPis(); ++i) {
+    const std::string& n = miter.piName(i);
+    std::printf(" %s=%d", n.empty() ? ("x" + std::to_string(i)).c_str() : n.c_str(),
+                solver.modelValue(x_lits[i]) == sat::LBool::True ? 1 : 0);
+  }
+  std::printf("\n");
+  for (std::uint32_t j = 0; j < diffs.size(); ++j) {
+    if (solver.modelValue(diffs[j]) == sat::LBool::True) {
+      std::printf("first differing output: %u (%s)\n", j, a.poName(j).c_str());
+      break;
+    }
+  }
+  return 2;
+}

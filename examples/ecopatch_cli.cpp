@@ -1,0 +1,124 @@
+// ecopatch_cli — command-line driver for the full ECO flow.
+//
+//   ecopatch_cli -f F.v -g G.v -w weights.txt [-o patch.v] [options]
+//
+// Options:
+//   --no-localization      disable the Sec. 5 cut re-expression
+//   --no-cost-opt          disable the Sec. 6 base selection
+//   --no-minimize          keep raw patch structure
+//   --itp-first            try interpolation before the on-set fallback
+//   --pi-only              restrict bases to primary inputs (baseline mode)
+//   --watch N              |Watch| group size (default 5)
+//   --rounds N             optimization rounds (default 2)
+//   --seed N               RNG seed
+//   --quiet                suppress the stage report
+//
+// Exit codes: 0 patched+verified, 1 usage/parse error, 2 unrectifiable.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "eco/engine.h"
+#include "eco/report.h"
+#include "io/instance_io.h"
+#include "io/verilog.h"
+
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "ecopatch: cannot open '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: ecopatch_cli -f faulty.v -g golden.v -w weights.txt "
+               "[-o patch.v] [--no-localization] [--no-cost-opt] "
+               "[--no-minimize] [--itp-first] [--pi-only] [--watch N] "
+               "[--rounds N] [--seed N] [--quiet]\n");
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace eco;
+
+  std::string f_path, g_path, w_path, out_path;
+  EcoOptions opt;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "-f") {
+      f_path = next();
+    } else if (a == "-g") {
+      g_path = next();
+    } else if (a == "-w") {
+      w_path = next();
+    } else if (a == "-o") {
+      out_path = next();
+    } else if (a == "--no-localization") {
+      opt.use_localization = false;
+    } else if (a == "--no-cost-opt") {
+      opt.use_cost_opt = false;
+    } else if (a == "--no-minimize") {
+      opt.minimize_patches = false;
+    } else if (a == "--itp-first") {
+      opt.try_interpolation_first = true;
+    } else if (a == "--pi-only") {
+      opt.pi_candidates_only = true;
+    } else if (a == "--watch") {
+      opt.watch_size = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (a == "--rounds") {
+      opt.opt_rounds = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (a == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "ecopatch: unknown option '%s'\n", a.c_str());
+      usage();
+    }
+  }
+  if (f_path.empty() || g_path.empty() || w_path.empty()) usage();
+
+  EcoInstance inst;
+  try {
+    inst = io::loadInstance(readFile(f_path), readFile(g_path),
+                            readFile(w_path), f_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ecopatch: %s\n", e.what());
+    return 1;
+  }
+
+  const PatchResult r = EcoEngine(opt).run(inst);
+  if (!r.success) {
+    std::fprintf(stderr, "ecopatch: %s\n", r.message.c_str());
+    return 2;
+  }
+  if (!quiet) std::printf("%s", formatRunReport(inst, r).c_str());
+  const std::string patch_text = io::writeVerilog(r.patch, "patch");
+  if (out_path.empty()) {
+    std::printf("%s", patch_text.c_str());
+  } else {
+    std::ofstream out(out_path);
+    out << patch_text;
+    if (!quiet) std::printf("patch written to %s\n", out_path.c_str());
+  }
+  return 0;
+}

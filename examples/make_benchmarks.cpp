@@ -1,0 +1,43 @@
+// make_benchmarks — emits the 20-unit synthetic contest suite as files in
+// the ICCAD 2017 Problem A layout, one directory per unit:
+//
+//   [outdir]/unitNN/F.v          faulty netlist (targets = floating wires)
+//   [outdir]/unitNN/G.v          golden netlist
+//   [outdir]/unitNN/weight.txt   per-signal base costs
+//
+// Together with ecopatch_cli this reproduces the full contest workflow:
+//
+//   ./build/examples/make_benchmarks bench_out
+//   ./build/examples/ecopatch_cli -f bench_out/unit06/F.v
+//        -g bench_out/unit06/G.v -w bench_out/unit06/weight.txt -o patch.v
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "benchgen/benchgen.h"
+#include "io/verilog.h"
+
+int main(int argc, char** argv) {
+  using namespace eco;
+  const std::string outdir = argc > 1 ? argv[1] : "bench_out";
+
+  for (const auto& spec : benchgen::contestSuite()) {
+    const EcoInstance inst = benchgen::generateUnit(spec);
+    const std::filesystem::path dir = std::filesystem::path(outdir) / spec.name;
+    std::filesystem::create_directories(dir);
+
+    std::vector<std::uint32_t> floating;
+    for (std::uint32_t k = 0; k < inst.numTargets(); ++k) {
+      floating.push_back(inst.targetPi(k));
+    }
+    std::ofstream(dir / "F.v") << io::writeVerilogWithFloating(inst.faulty,
+                                                               "top", floating);
+    std::ofstream(dir / "G.v") << io::writeVerilog(inst.golden, "top");
+    std::ofstream(dir / "weight.txt") << io::writeWeights(inst.weights);
+    std::printf("%-8s  %u targets, %u faulty gates -> %s\n", spec.name.c_str(),
+                inst.numTargets(), inst.faulty.numAnds(),
+                dir.string().c_str());
+  }
+  return 0;
+}

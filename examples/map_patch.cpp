@@ -1,0 +1,45 @@
+// map_patch — generate a patch and realize it in standard cells.
+//
+// Shows the resource-aware tail of the flow: the engine's patch (an AIG)
+// is mapped onto the generic cell library; the cell-level netlist, its
+// area, and the NAND2-only ablation are printed. This is the metric a
+// physical ECO actually pays for.
+//
+// Run:  ./build/examples/map_patch
+
+#include <cstdio>
+
+#include "benchgen/benchgen.h"
+#include "eco/engine.h"
+#include "techmap/mapper.h"
+
+int main() {
+  using namespace eco;
+
+  benchgen::UnitSpec spec{.name = "map-demo",
+                          .family = benchgen::Family::Alu,
+                          .size_param = 5,
+                          .num_targets = 2,
+                          .seed = 31415,
+                          .target_depth_frac = 0.4,
+                          .pi_weight = 20};
+  const EcoInstance inst = benchgen::generateUnit(spec);
+  const PatchResult r = EcoEngine().run(inst);
+  if (!r.success) {
+    std::printf("rectification failed: %s\n", r.message.c_str());
+    return 1;
+  }
+  std::printf("patch: cost=%.1f, %u AIG AND nodes, %u inputs, %u outputs\n\n",
+              r.cost, r.size, r.patch.numPis(), r.patch.numPos());
+
+  const techmap::CellLibrary generic = techmap::CellLibrary::standard();
+  const techmap::MappedNetlist mapped = techmap::mapAig(r.patch, generic);
+  std::printf("generic library: %u cells, area %.1f\n", mapped.cellCount(),
+              mapped.area());
+  const techmap::MappedNetlist nand2 =
+      techmap::mapAig(r.patch, techmap::CellLibrary::nand2Only());
+  std::printf("NAND2-only:      %u cells, area %.1f\n\n", nand2.cellCount(),
+              nand2.area());
+  std::printf("%s", techmap::writeMappedVerilog(mapped, "patch_mapped").c_str());
+  return 0;
+}

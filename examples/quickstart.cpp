@@ -1,0 +1,62 @@
+// Quickstart: rectify a tiny faulty circuit end to end.
+//
+// The golden design computes o = (a & b) ^ c. In the faulty design the
+// AND gate was found to be wrong and has been ripped out: its output is
+// the floating target t0. We ask the engine for a cost-minimal patch and
+// print it as structural Verilog.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "eco/engine.h"
+#include "io/verilog.h"
+
+int main() {
+  using namespace eco;
+
+  EcoInstance inst;
+  inst.name = "quickstart";
+
+  // Golden circuit: o = (a & b) ^ c.
+  {
+    Aig& g = inst.golden;
+    const Lit a = g.addPi("a");
+    const Lit b = g.addPi("b");
+    const Lit c = g.addPi("c");
+    g.addPo(g.mkXor(g.addAnd(a, b), c), "o");
+  }
+
+  // Faulty circuit: the inner AND was cut out; t0 is a floating pseudo-PI.
+  {
+    Aig& f = inst.faulty;
+    const Lit a = f.addPi("a");
+    const Lit b = f.addPi("b");
+    const Lit c = f.addPi("c");
+    const Lit t0 = f.addPi("t0");
+    inst.num_x = 3;
+    // A spare gate near the fault — cheap to reuse as a patch base.
+    const Lit spare = f.addAnd(a, b);
+    f.setSignalName(spare, "spare_and");
+    f.addPo(f.mkXor(t0, c), "o");
+  }
+
+  // Resource costs: primary inputs are expensive to route to, the spare
+  // gate's output is cheap.
+  inst.weights = {{"a", 10}, {"b", 10}, {"c", 10}, {"spare_and", 1}};
+
+  EcoEngine engine;  // default options: localization + cost optimization
+  const PatchResult r = engine.run(inst);
+  if (!r.success) {
+    std::printf("rectification failed: %s\n", r.message.c_str());
+    return 1;
+  }
+
+  std::printf("patch found: cost=%.1f size=%u gates, %zu base signal(s)\n",
+              r.cost, r.size, r.base.size());
+  for (const BaseRef& b : r.base) {
+    std::printf("  base: %-12s (weight %.1f)\n", b.name.c_str(), b.weight);
+  }
+  std::printf("\n%s", io::writeVerilog(r.patch, "patch").c_str());
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "aig/aig.h"
+
+#include <algorithm>
+
+namespace eco {
+
+Aig::Aig() {
+  // Variable 0 is the constant-FALSE node.
+  nodes_.push_back(Node{Lit(), Lit()});
+}
+
+Lit Aig::addPi(std::string name) {
+  const auto var = static_cast<std::uint32_t>(nodes_.size());
+  Node n;
+  n.fanin0 = Lit();  // invalid marks a PI
+  n.fanin1 = Lit::fromValue(static_cast<std::uint32_t>(pis_.size()));
+  nodes_.push_back(n);
+  pis_.push_back(var);
+  pi_names_.push_back(std::move(name));
+  return Lit::fromVar(var, false);
+}
+
+Lit Aig::addAnd(Lit a, Lit b) {
+  ECO_CHECK(a.valid() && b.valid());
+  ECO_CHECK(a.var() < nodes_.size() && b.var() < nodes_.size());
+  // Constant folding and trivial cases.
+  if (a == kFalse || b == kFalse) return kFalse;
+  if (a == kTrue) return b;
+  if (b == kTrue) return a;
+  if (a == b) return a;
+  if (a == !b) return kFalse;
+  // Canonical fanin order for structural hashing.
+  if (b < a) std::swap(a, b);
+  const std::uint64_t key = strashKey(a, b);
+  if (auto it = strash_.find(key); it != strash_.end()) {
+    return Lit::fromVar(it->second, false);
+  }
+  const auto var = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{a, b});
+  strash_.emplace(key, var);
+  return Lit::fromVar(var, false);
+}
+
+std::uint32_t Aig::addPo(Lit lit, std::string name) {
+  ECO_CHECK(lit.valid());
+  const auto idx = static_cast<std::uint32_t>(pos_.size());
+  pos_.push_back(lit);
+  po_names_.push_back(std::move(name));
+  return idx;
+}
+
+void Aig::setPoDriver(std::uint32_t po_index, Lit lit) {
+  ECO_CHECK(po_index < pos_.size() && lit.valid());
+  pos_[po_index] = lit;
+}
+
+Lit Aig::mkXor(Lit a, Lit b) {
+  // a ^ b = (a & !b) | (!a & b)
+  return mkOr(addAnd(a, !b), addAnd(!a, b));
+}
+
+Lit Aig::mkMux(Lit sel, Lit t, Lit e) {
+  return mkOr(addAnd(sel, t), addAnd(!sel, e));
+}
+
+Lit Aig::mkAndN(std::span<const Lit> lits) {
+  Lit acc = kTrue;
+  for (Lit l : lits) acc = addAnd(acc, l);
+  return acc;
+}
+
+Lit Aig::mkOrN(std::span<const Lit> lits) {
+  Lit acc = kFalse;
+  for (Lit l : lits) acc = mkOr(acc, l);
+  return acc;
+}
+
+std::optional<std::uint32_t> Aig::findPi(const std::string& name) const {
+  for (std::uint32_t i = 0; i < numPis(); ++i) {
+    if (pi_names_[i] == name) return pis_[i];
+  }
+  return std::nullopt;
+}
+
+void Aig::setSignalName(Lit lit, const std::string& name) {
+  ECO_CHECK(lit.valid());
+  auto [it, inserted] = name_index_.emplace(name, lit);
+  if (inserted) {
+    named_signals_.emplace_back(name, lit);
+  } else {
+    it->second = lit;
+    for (auto& [n, l] : named_signals_) {
+      if (n == name) { l = lit; break; }
+    }
+  }
+}
+
+std::optional<Lit> Aig::findSignal(const std::string& name) const {
+  if (auto it = name_index_.find(name); it != name_index_.end()) return it->second;
+  return std::nullopt;
+}
+
+std::vector<bool> Aig::evaluate(const std::vector<bool>& inputs) const {
+  ECO_CHECK(inputs.size() == pis_.size());
+  std::vector<bool> value(nodes_.size(), false);
+  for (std::uint32_t var = 1; var < nodes_.size(); ++var) {
+    if (isPi(var)) {
+      value[var] = inputs[piIndex(var)];
+    } else {
+      const Node& n = nodes_[var];
+      const bool v0 = value[n.fanin0.var()] ^ n.fanin0.complemented();
+      const bool v1 = value[n.fanin1.var()] ^ n.fanin1.complemented();
+      value[var] = v0 && v1;
+    }
+  }
+  std::vector<bool> out(pos_.size());
+  for (std::size_t i = 0; i < pos_.size(); ++i) {
+    out[i] = value[pos_[i].var()] ^ pos_[i].complemented();
+  }
+  return out;
+}
+
+}  // namespace eco

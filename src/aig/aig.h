@@ -1,0 +1,159 @@
+#pragma once
+// Structurally hashed And-Inverter Graph (AIG).
+//
+// The AIG is the working representation for every circuit in this library:
+// faulty/golden networks, care/diff-set constructions, interpolants, and
+// patch functions. Nodes are appended in topological order and never
+// removed; dead logic is dropped by copying live cones into a fresh graph
+// (see aig_ops.h).
+//
+// Encoding: a literal is (variable << 1) | complement. Variable 0 is the
+// constant-FALSE node, so literal 0 is FALSE and literal 1 is TRUE.
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/check.h"
+
+namespace eco {
+
+/// AIG literal: a variable index with an optional complement bit.
+class Lit {
+ public:
+  constexpr Lit() : value_(kInvalid) {}
+  constexpr static Lit fromVar(std::uint32_t var, bool complement) {
+    return Lit((var << 1) | (complement ? 1u : 0u));
+  }
+  constexpr static Lit fromValue(std::uint32_t value) { return Lit(value); }
+
+  constexpr std::uint32_t var() const { return value_ >> 1; }
+  constexpr bool complemented() const { return (value_ & 1u) != 0; }
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalid; }
+
+  constexpr Lit operator!() const { return Lit(value_ ^ 1u); }
+  constexpr Lit operator^(bool c) const { return Lit(value_ ^ (c ? 1u : 0u)); }
+
+  friend constexpr bool operator==(Lit a, Lit b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Lit a, Lit b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Lit a, Lit b) { return a.value_ < b.value_; }
+
+ private:
+  constexpr explicit Lit(std::uint32_t value) : value_(value) {}
+  static constexpr std::uint32_t kInvalid = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t value_;
+};
+
+/// Constant literals.
+inline constexpr Lit kFalse = Lit::fromVar(0, false);
+inline constexpr Lit kTrue = Lit::fromVar(0, true);
+
+class Aig {
+ public:
+  struct Node {
+    Lit fanin0;  ///< invalid for PIs and the constant node
+    Lit fanin1;  ///< for PIs, holds the PI index in value()
+  };
+
+  Aig();
+
+  Aig(const Aig&) = default;
+  Aig(Aig&&) = default;
+  Aig& operator=(const Aig&) = default;
+  Aig& operator=(Aig&&) = default;
+
+  // --- construction -------------------------------------------------------
+
+  /// Adds a primary input; returns its (positive) literal.
+  Lit addPi(std::string name = {});
+
+  /// Adds a structurally hashed AND gate with constant folding.
+  Lit addAnd(Lit a, Lit b);
+
+  /// Registers a primary output driven by `lit`.
+  std::uint32_t addPo(Lit lit, std::string name = {});
+
+  /// Redirects an existing primary output to a new driver.
+  void setPoDriver(std::uint32_t po_index, Lit lit);
+
+  // Derived connectives (built from AND/NOT).
+  Lit mkOr(Lit a, Lit b) { return !addAnd(!a, !b); }
+  Lit mkXor(Lit a, Lit b);
+  Lit mkEquiv(Lit a, Lit b) { return !mkXor(a, b); }
+  /// if-then-else: sel ? t : e.
+  Lit mkMux(Lit sel, Lit t, Lit e);
+  Lit mkAndN(std::span<const Lit> lits);
+  Lit mkOrN(std::span<const Lit> lits);
+
+  // --- inspection ---------------------------------------------------------
+
+  std::uint32_t numNodes() const { return static_cast<std::uint32_t>(nodes_.size()); }
+  std::uint32_t numPis() const { return static_cast<std::uint32_t>(pis_.size()); }
+  std::uint32_t numPos() const { return static_cast<std::uint32_t>(pos_.size()); }
+  std::uint32_t numAnds() const { return numNodes() - numPis() - 1; }
+
+  bool isPi(std::uint32_t var) const {
+    return var != 0 && !nodes_[var].fanin0.valid();
+  }
+  bool isAnd(std::uint32_t var) const {
+    return var != 0 && nodes_[var].fanin0.valid();
+  }
+  bool isConst(std::uint32_t var) const { return var == 0; }
+
+  /// PI ordinal of a PI variable.
+  std::uint32_t piIndex(std::uint32_t var) const {
+    ECO_CHECK(isPi(var));
+    return nodes_[var].fanin1.value();
+  }
+  /// Variable of the i-th PI.
+  std::uint32_t piVar(std::uint32_t i) const { return pis_[i]; }
+  /// Positive literal of the i-th PI.
+  Lit piLit(std::uint32_t i) const { return Lit::fromVar(pis_[i], false); }
+
+  Lit fanin0(std::uint32_t var) const { return nodes_[var].fanin0; }
+  Lit fanin1(std::uint32_t var) const { return nodes_[var].fanin1; }
+
+  Lit poDriver(std::uint32_t i) const { return pos_[i]; }
+  const std::string& poName(std::uint32_t i) const { return po_names_[i]; }
+  const std::string& piName(std::uint32_t i) const { return pi_names_[i]; }
+
+  /// Finds a PI by name; returns nullopt if absent.
+  std::optional<std::uint32_t> findPi(const std::string& name) const;
+
+  // --- named internal signals --------------------------------------------
+  // The contest formulation attaches weights to *named* signals of the
+  // faulty netlist; names are preserved through parsing so bases and costs
+  // can be reported in the original namespace.
+
+  void setSignalName(Lit lit, const std::string& name);
+  std::optional<Lit> findSignal(const std::string& name) const;
+  const std::vector<std::pair<std::string, Lit>>& namedSignals() const {
+    return named_signals_;
+  }
+
+  // --- evaluation ---------------------------------------------------------
+
+  /// Point-evaluates all POs under a PI assignment (inputs[i] = value of PI i).
+  std::vector<bool> evaluate(const std::vector<bool>& inputs) const;
+
+ private:
+  static std::uint64_t strashKey(Lit a, Lit b) {
+    return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> pis_;
+  std::vector<Lit> pos_;
+  std::vector<std::string> pi_names_;
+  std::vector<std::string> po_names_;
+  std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+  std::vector<std::pair<std::string, Lit>> named_signals_;
+  std::unordered_map<std::string, Lit> name_index_;
+};
+
+}  // namespace eco

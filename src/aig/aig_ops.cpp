@@ -1,0 +1,213 @@
+#include "aig/aig_ops.h"
+
+#include <algorithm>
+
+namespace eco {
+namespace {
+
+// Iterative post-order DFS over the fanin cones of `roots`, invoking
+// `visit(var)` for every AND node with both fanins already visited.
+// PIs must be handled by the caller (present in `done` beforehand or on
+// demand). Shared by copyCones/substitute to avoid recursion depth limits
+// on deep circuits.
+template <typename PiHandler, typename AndHandler>
+void forEachConeNode(const Aig& aig, std::span<const Lit> roots, PiHandler on_pi,
+                     AndHandler on_and) {
+  std::vector<bool> seen(aig.numNodes(), false);
+  seen[0] = true;  // constant
+  std::vector<std::uint32_t> stack;
+  for (Lit r : roots) {
+    if (!seen[r.var()]) stack.push_back(r.var());
+  }
+  while (!stack.empty()) {
+    const std::uint32_t var = stack.back();
+    if (seen[var]) {
+      stack.pop_back();
+      continue;
+    }
+    if (aig.isPi(var)) {
+      seen[var] = true;
+      stack.pop_back();
+      on_pi(var);
+      continue;
+    }
+    const std::uint32_t f0 = aig.fanin0(var).var();
+    const std::uint32_t f1 = aig.fanin1(var).var();
+    if (!seen[f0]) {
+      stack.push_back(f0);
+      continue;
+    }
+    if (!seen[f1]) {
+      stack.push_back(f1);
+      continue;
+    }
+    seen[var] = true;
+    stack.pop_back();
+    on_and(var);
+  }
+}
+
+}  // namespace
+
+std::vector<Lit> copyCones(const Aig& src, std::span<const Lit> roots, VarMap& map,
+                           Aig& dst) {
+  map.emplace(0, kFalse);
+  // Bounded traversal: variables already present in `map` (pre-seeded PIs
+  // or cut-frontier nodes) are leaves and are never expanded or overwritten.
+  std::vector<std::uint32_t> stack;
+  for (Lit r : roots) stack.push_back(r.var());
+  while (!stack.empty()) {
+    const std::uint32_t var = stack.back();
+    if (map.count(var) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    ECO_CHECK_MSG(!src.isPi(var), "copyCones: unmapped source PI");
+    const Lit f0 = src.fanin0(var);
+    const Lit f1 = src.fanin1(var);
+    const bool need0 = map.count(f0.var()) == 0;
+    const bool need1 = map.count(f1.var()) == 0;
+    if (need0) stack.push_back(f0.var());
+    if (need1) stack.push_back(f1.var());
+    if (need0 || need1) continue;
+    stack.pop_back();
+    const Lit m0 = map.at(f0.var()) ^ f0.complemented();
+    const Lit m1 = map.at(f1.var()) ^ f1.complemented();
+    map.emplace(var, dst.addAnd(m0, m1));
+  }
+  std::vector<Lit> out;
+  out.reserve(roots.size());
+  for (Lit r : roots) out.push_back(map.at(r.var()) ^ r.complemented());
+  return out;
+}
+
+std::vector<Lit> copyCones(const Aig& src, std::span<const Lit> roots,
+                           std::span<const Lit> pi_map, Aig& dst) {
+  ECO_CHECK(pi_map.size() == src.numPis());
+  VarMap map;
+  for (std::uint32_t i = 0; i < src.numPis(); ++i) map[src.piVar(i)] = pi_map[i];
+  return copyCones(src, roots, map, dst);
+}
+
+std::vector<Lit> substitute(Aig& aig, std::span<const Lit> roots,
+                            const VarMap& replacement) {
+  VarMap map = replacement;
+  map[0] = kFalse;
+  forEachConeNode(
+      aig, roots,
+      [&](std::uint32_t pi) {
+        // Unreplaced PIs map to themselves.
+        map.try_emplace(pi, Lit::fromVar(pi, false));
+      },
+      [&](std::uint32_t var) {
+        if (map.count(var) != 0) return;  // explicitly replaced AND node
+        const Lit f0 = aig.fanin0(var);
+        const Lit f1 = aig.fanin1(var);
+        const Lit m0 = map.at(f0.var()) ^ f0.complemented();
+        const Lit m1 = map.at(f1.var()) ^ f1.complemented();
+        map[var] = aig.addAnd(m0, m1);
+      });
+  // Note: forEachConeNode traverses *through* replaced AND nodes' original
+  // fanins as well, which is harmless (extra shared nodes already exist).
+  std::vector<Lit> out;
+  out.reserve(roots.size());
+  for (Lit r : roots) out.push_back(map.at(r.var()) ^ r.complemented());
+  return out;
+}
+
+std::vector<std::uint32_t> collectCone(const Aig& aig, std::span<const Lit> roots) {
+  std::vector<std::uint32_t> order;
+  forEachConeNode(
+      aig, roots, [&](std::uint32_t pi) { order.push_back(pi); },
+      [&](std::uint32_t var) { order.push_back(var); });
+  return order;
+}
+
+std::vector<std::uint32_t> supportPis(const Aig& aig, std::span<const Lit> roots) {
+  std::vector<std::uint32_t> pis;
+  forEachConeNode(
+      aig, roots, [&](std::uint32_t pi) { pis.push_back(pi); },
+      [](std::uint32_t) {});
+  std::sort(pis.begin(), pis.end());
+  return pis;
+}
+
+std::uint32_t coneAndCount(const Aig& aig, std::span<const Lit> roots) {
+  std::uint32_t count = 0;
+  forEachConeNode(
+      aig, roots, [](std::uint32_t) {}, [&](std::uint32_t) { ++count; });
+  return count;
+}
+
+std::vector<bool> transitiveFanoutMask(const Aig& aig,
+                                       std::span<const std::uint32_t> sources) {
+  std::vector<bool> mark(aig.numNodes(), false);
+  for (std::uint32_t s : sources) mark[s] = true;
+  // Nodes are stored in topological order, so one forward sweep suffices.
+  for (std::uint32_t var = 1; var < aig.numNodes(); ++var) {
+    if (!aig.isAnd(var) || mark[var]) continue;
+    if (mark[aig.fanin0(var).var()] || mark[aig.fanin1(var).var()]) mark[var] = true;
+  }
+  return mark;
+}
+
+std::vector<std::uint32_t> levels(const Aig& aig) {
+  std::vector<std::uint32_t> d(aig.numNodes(), 0);
+  for (std::uint32_t v = 1; v < aig.numNodes(); ++v) {
+    if (aig.isAnd(v)) {
+      d[v] = 1 + std::max(d[aig.fanin0(v).var()], d[aig.fanin1(v).var()]);
+    }
+  }
+  return d;
+}
+
+std::vector<std::uint32_t> fanoutCounts(const Aig& aig) {
+  std::vector<std::uint32_t> refs(aig.numNodes(), 0);
+  for (std::uint32_t v = 1; v < aig.numNodes(); ++v) {
+    if (!aig.isAnd(v)) continue;
+    ++refs[aig.fanin0(v).var()];
+    ++refs[aig.fanin1(v).var()];
+  }
+  for (std::uint32_t j = 0; j < aig.numPos(); ++j) ++refs[aig.poDriver(j).var()];
+  return refs;
+}
+
+Aig cleanup(const Aig& src) {
+  Aig dst;
+  VarMap map;
+  for (std::uint32_t i = 0; i < src.numPis(); ++i) {
+    map[src.piVar(i)] = dst.addPi(src.piName(i));
+  }
+  std::vector<Lit> roots;
+  roots.reserve(src.numPos());
+  for (std::uint32_t i = 0; i < src.numPos(); ++i) roots.push_back(src.poDriver(i));
+  const std::vector<Lit> mapped = copyCones(src, roots, map, dst);
+  for (std::uint32_t i = 0; i < src.numPos(); ++i) {
+    dst.addPo(mapped[i], src.poName(i));
+  }
+  for (const auto& [name, lit] : src.namedSignals()) {
+    if (auto it = map.find(lit.var()); it != map.end()) {
+      dst.setSignalName(it->second ^ lit.complemented(), name);
+    }
+  }
+  return dst;
+}
+
+bool strashEquivalent(const Aig& a, const Aig& b) {
+  if (a.numPis() != b.numPis() || a.numPos() != b.numPos()) return false;
+  Aig scratch;
+  VarMap map_a, map_b;
+  for (std::uint32_t i = 0; i < a.numPis(); ++i) {
+    const Lit pi = scratch.addPi();
+    map_a[a.piVar(i)] = pi;
+    map_b[b.piVar(i)] = pi;
+  }
+  std::vector<Lit> roots_a, roots_b;
+  for (std::uint32_t i = 0; i < a.numPos(); ++i) roots_a.push_back(a.poDriver(i));
+  for (std::uint32_t i = 0; i < b.numPos(); ++i) roots_b.push_back(b.poDriver(i));
+  const std::vector<Lit> ma = copyCones(a, roots_a, map_a, scratch);
+  const std::vector<Lit> mb = copyCones(b, roots_b, map_b, scratch);
+  return ma == mb;
+}
+
+}  // namespace eco

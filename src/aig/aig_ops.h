@@ -1,0 +1,77 @@
+#pragma once
+// Cone-level operations on AIGs: copying cones across graphs, substituting
+// drivers for variables (cofactoring and patch insertion), support and
+// fanin/fanout cone computation.
+//
+// The ECO algorithms are phrased almost entirely in terms of these
+// operations: care-sets are XORs of two cofactor copies, diff-sets are XORs
+// of cones from two graphs, patch insertion is substitution of a pseudo-PI.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.h"
+
+namespace eco {
+
+/// Maps a variable of a source AIG to a literal of a destination AIG.
+using VarMap = std::unordered_map<std::uint32_t, Lit>;
+
+/// Copies the cones of `roots` from `src` into `dst`.
+///
+/// `map` must pre-seed every PI variable of `src` reachable from `roots`
+/// with a destination literal; it is extended with the mapping of every
+/// internal node copied. Any variable pre-seeded in `map` — including
+/// internal AND nodes — is treated as a cut boundary: it is not expanded
+/// and its mapping is not overwritten (this implements the Theorem 2
+/// re-expression of cones over a cut). Returns the destination literals of
+/// `roots`.
+std::vector<Lit> copyCones(const Aig& src, std::span<const Lit> roots, VarMap& map,
+                           Aig& dst);
+
+/// Convenience overload mapping src PI i to `pi_map[i]`.
+std::vector<Lit> copyCones(const Aig& src, std::span<const Lit> roots,
+                           std::span<const Lit> pi_map, Aig& dst);
+
+/// Rebuilds the cones of `roots` inside `aig` with the drivers of the given
+/// variables replaced (variable -> replacement literal). Used to cofactor a
+/// pseudo-PI to a constant or to substitute a patch function for a target.
+/// Untouched structure is shared via structural hashing.
+std::vector<Lit> substitute(Aig& aig, std::span<const Lit> roots,
+                            const VarMap& replacement);
+
+/// Variables (PIs and ANDs) in the transitive fanin cones of `roots`,
+/// in topological order; excludes the constant node.
+std::vector<std::uint32_t> collectCone(const Aig& aig, std::span<const Lit> roots);
+
+/// PI variables in the combined support of `roots`.
+std::vector<std::uint32_t> supportPis(const Aig& aig, std::span<const Lit> roots);
+
+/// Number of AND nodes in the combined cones of `roots` (patch "size" in the
+/// contest metric: every primitive gate counts one).
+std::uint32_t coneAndCount(const Aig& aig, std::span<const Lit> roots);
+
+/// mark[var] = true iff var is one of `sources` or lies in their transitive
+/// fanout. Sources are given as variables.
+std::vector<bool> transitiveFanoutMask(const Aig& aig,
+                                       std::span<const std::uint32_t> sources);
+
+/// Structural depth per variable (PIs and the constant are level 0).
+std::vector<std::uint32_t> levels(const Aig& aig);
+
+/// Fanout reference counts per variable: one per AND-node fanin plus one
+/// per PO reference.
+std::vector<std::uint32_t> fanoutCounts(const Aig& aig);
+
+/// Duplicates an AIG keeping only logic reachable from its POs (dead-node
+/// sweep). PO/PI names and named signals whose node survives are preserved.
+Aig cleanup(const Aig& src);
+
+/// Structural + functional equality up to the strash: true iff both graphs
+/// have identical PI counts and every PO pair is the same literal after
+/// copying `b` into `a`'s namespace. (Cheap syntactic check used by tests.)
+bool strashEquivalent(const Aig& a, const Aig& b);
+
+}  // namespace eco

@@ -1,0 +1,124 @@
+#include "aig/minimize.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "aig/aig_ops.h"
+#include "base/check.h"
+#include "fraig/fraig.h"
+
+namespace eco {
+namespace {
+
+/// One flatten-and-rebalance rebuild of `src` into a fresh AIG.
+Aig flattenRebuild(const Aig& src) {
+  std::vector<Lit> roots;
+  for (std::uint32_t j = 0; j < src.numPos(); ++j) roots.push_back(src.poDriver(j));
+  const std::vector<std::uint32_t> live = collectCone(src, roots);
+
+  // Reference counts within the live cone (plus PO references).
+  std::vector<std::uint32_t> refs(src.numNodes(), 0);
+  for (const std::uint32_t v : live) {
+    if (!src.isAnd(v)) continue;
+    ++refs[src.fanin0(v).var()];
+    ++refs[src.fanin1(v).var()];
+  }
+  for (const Lit r : roots) ++refs[r.var()];
+
+  Aig dst;
+  VarMap map;
+  map[0] = kFalse;
+  for (std::uint32_t i = 0; i < src.numPis(); ++i) {
+    map[src.piVar(i)] = dst.addPi(src.piName(i));
+  }
+
+  const auto mappedLit = [&](Lit l) { return map.at(l.var()) ^ l.complemented(); };
+
+  for (const std::uint32_t var : live) {
+    if (!src.isAnd(var)) continue;
+    // Flatten the maximal AND tree rooted here: descend through
+    // non-complemented, single-reference AND fanins.
+    std::vector<Lit> leaves;
+    std::vector<Lit> stack{src.fanin0(var), src.fanin1(var)};
+    while (!stack.empty()) {
+      const Lit l = stack.back();
+      stack.pop_back();
+      if (!l.complemented() && src.isAnd(l.var()) && refs[l.var()] == 1) {
+        stack.push_back(src.fanin0(l.var()));
+        stack.push_back(src.fanin1(l.var()));
+        continue;
+      }
+      leaves.push_back(mappedLit(l));
+    }
+    // Deduplicate; x & !x annihilates, TRUE units drop.
+    std::sort(leaves.begin(), leaves.end());
+    leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+    bool is_false = false;
+    for (std::size_t i = 0; i + 1 < leaves.size() && !is_false; ++i) {
+      if (leaves[i].var() == leaves[i + 1].var()) is_false = true;
+    }
+    if (is_false || (!leaves.empty() && leaves[0] == kFalse)) {
+      map[var] = kFalse;
+      continue;
+    }
+    std::deque<Lit> queue;
+    for (const Lit l : leaves) {
+      if (l != kTrue) queue.push_back(l);
+    }
+    if (queue.empty()) {
+      map[var] = kTrue;
+      continue;
+    }
+    // Balanced pairwise reduction.
+    while (queue.size() > 1) {
+      const Lit a = queue.front();
+      queue.pop_front();
+      const Lit b = queue.front();
+      queue.pop_front();
+      queue.push_back(dst.addAnd(a, b));
+    }
+    map[var] = queue.front();
+  }
+
+  for (std::uint32_t j = 0; j < src.numPos(); ++j) {
+    dst.addPo(mappedLit(src.poDriver(j)), src.poName(j));
+  }
+  for (const auto& [name, lit] : src.namedSignals()) {
+    if (const auto it = map.find(lit.var()); it != map.end()) {
+      dst.setSignalName(it->second ^ lit.complemented(), name);
+    }
+  }
+  return dst;
+}
+
+/// FRAIG pass over all PO cones, followed by a dead-node sweep.
+Aig fraigRebuild(const Aig& src, const MinimizeOptions& options) {
+  Aig work = src;  // compressCones appends into the graph
+  std::vector<Lit> roots;
+  for (std::uint32_t j = 0; j < work.numPos(); ++j) roots.push_back(work.poDriver(j));
+  fraig::Options fo;
+  fo.conflict_budget = options.fraig_budget;
+  fo.seed = options.seed;
+  const std::vector<Lit> reduced = fraig::compressCones(work, roots, fo);
+  for (std::uint32_t j = 0; j < work.numPos(); ++j) work.setPoDriver(j, reduced[j]);
+  return cleanup(work);
+}
+
+}  // namespace
+
+Aig minimizeAig(const Aig& src, const MinimizeOptions& options) {
+  Aig best = cleanup(src);
+  for (std::uint32_t round = 0; round < options.max_rounds; ++round) {
+    Aig next = cleanup(flattenRebuild(best));
+    if (options.use_fraig) {
+      Aig swept = fraigRebuild(next, options);
+      if (swept.numAnds() < next.numAnds()) next = std::move(swept);
+    }
+    if (next.numAnds() >= best.numAnds()) break;
+    best = std::move(next);
+  }
+  return best;
+}
+
+}  // namespace eco

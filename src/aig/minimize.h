@@ -1,0 +1,35 @@
+#pragma once
+// AIG minimization for patch-size reduction.
+//
+// The contest's secondary quality metric is the gate count of the patch, so
+// the engine shrinks every candidate patch function before accepting it.
+// Passes, iterated to a fixed point (bounded by max_rounds):
+//
+//   1. dead-node sweep (cleanup)
+//   2. AND/OR tree flattening: maximal single-fanout conjunction trees are
+//      flattened into a literal set — duplicates collapse, complementary
+//      pairs annihilate to a constant — and rebuilt balanced
+//   3. FRAIG reduction: functionally equivalent internal nodes are merged
+//      onto class representatives (SAT-proven)
+//
+// All passes are purely functional: the result is a fresh AIG provably
+// equivalent input (FRAIG merges are SAT-verified; everything else is
+// syntactic).
+
+#include <cstdint>
+
+#include "aig/aig.h"
+
+namespace eco {
+
+struct MinimizeOptions {
+  std::uint32_t max_rounds = 3;
+  bool use_fraig = true;          ///< enable the SAT-based reduction pass
+  std::int64_t fraig_budget = 2000;  ///< per-query conflict budget
+  std::uint64_t seed = 0x5EEDULL;
+};
+
+/// Returns a functionally equivalent AIG with at most as many AND nodes.
+Aig minimizeAig(const Aig& src, const MinimizeOptions& options = {});
+
+}  // namespace eco

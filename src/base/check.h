@@ -1,0 +1,30 @@
+#pragma once
+// Lightweight invariant checking used throughout the library.
+//
+// ECO_CHECK is active in all build types: algorithmic invariants in a
+// SAT/interpolation stack are cheap relative to solving and catching a
+// violated invariant early beats debugging a wrong patch later.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace eco {
+
+[[noreturn]] inline void checkFailed(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "ECO_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace eco
+
+#define ECO_CHECK(cond)                                        \
+  do {                                                         \
+    if (!(cond)) ::eco::checkFailed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define ECO_CHECK_MSG(cond, msg)                                  \
+  do {                                                            \
+    if (!(cond)) ::eco::checkFailed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,35 @@
+#pragma once
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// All randomized components (simulation patterns, benchmark generation,
+// decision-variable tie breaking) draw from this generator so that runs are
+// reproducible from a single seed.
+
+#include <cstdint>
+
+namespace eco {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) for bound >= 1.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli draw with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den);
+
+  /// Uniform double in [0, 1).
+  double real();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace eco

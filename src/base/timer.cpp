@@ -1,0 +1,3 @@
+#include "base/timer.h"
+
+// Header-only today; this translation unit anchors the library target.

@@ -1,0 +1,352 @@
+#include "benchgen/benchgen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "aig/aig_ops.h"
+#include "base/check.h"
+#include "base/rng.h"
+#include "benchgen/families.h"
+#include "sim/sim.h"
+
+namespace eco::benchgen {
+namespace {
+
+/// True iff cutting node `v` of `g` is observable: replacing it by a free
+/// input and toggling that input changes some PO under random patterns.
+/// Cheap stuck-at-style fault simulation; random AND-dominated logic masks
+/// heavily, so an explicit check is needed to avoid don't-care targets.
+bool cutObservable(const Aig& g, std::uint32_t v, Rng& rng) {
+  Aig probe;
+  VarMap map;
+  for (std::uint32_t i = 0; i < g.numPis(); ++i) map[g.piVar(i)] = probe.addPi();
+  const Lit t = probe.addPi();
+  map[v] = t;
+  std::vector<Lit> roots;
+  for (std::uint32_t j = 0; j < g.numPos(); ++j) roots.push_back(g.poDriver(j));
+  const std::vector<Lit> mapped = copyCones(g, roots, map, probe);
+
+  sim::PatternSet base(probe.numPis(), 4);
+  base.randomize(rng);
+  sim::PatternSet p0 = base, p1 = base;
+  const std::uint32_t t_index = probe.numPis() - 1;
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    p0.of(t_index)[w] = 0;
+    p1.of(t_index)[w] = ~std::uint64_t{0};
+  }
+  const sim::PatternSet v0 = sim::simulateAll(probe, p0);
+  const sim::PatternSet v1 = sim::simulateAll(probe, p1);
+  // Care mask: patterns where the cut value is observable at some PO.
+  std::uint64_t care[4] = {0, 0, 0, 0};
+  for (const Lit r : mapped) {
+    for (std::uint32_t w = 0; w < 4; ++w) {
+      care[w] |= v0.of(r.var())[w] ^ v1.of(r.var())[w];
+    }
+  }
+  // Require the *needed* patch value (the golden node function) to take
+  // both polarities inside the care set, so a constant patch cannot work
+  // and the instance exercises real synthesis.
+  sim::PatternSet gx(g.numPis(), 4);
+  for (std::uint32_t i = 0; i < g.numPis(); ++i) {
+    for (std::uint32_t w = 0; w < 4; ++w) gx.of(i)[w] = base.of(i)[w];
+  }
+  const sim::PatternSet gv = sim::simulateAll(g, gx);
+  const auto vv = gv.of(v);
+  bool need1 = false, need0 = false;
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    if ((care[w] & vv[w]) != 0) need1 = true;
+    if ((care[w] & ~vv[w]) != 0) need0 = true;
+  }
+  return need1 && need0;
+}
+
+/// Picks `n` distinct AND nodes as rectification points, respecting the
+/// depth band of the spec. Only nodes inside the PO cones are eligible —
+/// cutting dead logic would yield trivial don't-care patches.
+std::vector<std::uint32_t> pickTargets(const Aig& golden, const UnitSpec& spec,
+                                       Rng& rng) {
+  const std::vector<std::uint32_t> d = levels(golden);
+  std::uint32_t max_depth = 0;
+  for (const std::uint32_t v : d) max_depth = std::max(max_depth, v);
+  const auto min_depth =
+      static_cast<std::uint32_t>(spec.target_depth_frac * max_depth);
+
+  std::vector<Lit> roots;
+  for (std::uint32_t j = 0; j < golden.numPos(); ++j) {
+    roots.push_back(golden.poDriver(j));
+  }
+  const std::vector<std::uint32_t> cone = collectCone(golden, roots);
+  std::vector<bool> live(golden.numNodes(), false);
+  for (const std::uint32_t v : cone) live[v] = true;
+
+  // Require a balanced function: cutting a near-constant node yields a
+  // trivial constant patch, which tests nothing.
+  sim::PatternSet patterns(golden.numPis(), 4);
+  patterns.randomize(rng);
+  const sim::PatternSet values = sim::simulateAll(golden, patterns);
+  const auto balanced = [&](std::uint32_t v) {
+    std::uint32_t ones = 0;
+    for (const std::uint64_t w : values.of(v)) {
+      ones += static_cast<std::uint32_t>(__builtin_popcountll(w));
+    }
+    const std::uint32_t total = 64 * values.wordsPerSignal();
+    return ones >= total / 8 && ones <= total - total / 8;
+  };
+
+  std::vector<std::uint32_t> eligible;
+  for (std::uint32_t v = 1; v < golden.numNodes(); ++v) {
+    if (golden.isAnd(v) && live[v] && d[v] >= min_depth && balanced(v)) {
+      eligible.push_back(v);
+    }
+  }
+  if (eligible.size() < spec.num_targets) {
+    // Relax the depth and balance bands rather than fail.
+    eligible.clear();
+    for (std::uint32_t v = 1; v < golden.numNodes(); ++v) {
+      if (golden.isAnd(v) && live[v]) eligible.push_back(v);
+    }
+  }
+  ECO_CHECK_MSG(eligible.size() >= spec.num_targets,
+                "unit spec asks for more targets than eligible nodes");
+  // Shuffle, then greedily take structurally independent nodes: a node in
+  // another pick's fanin cone would lose its only path to the outputs when
+  // that pick is cut, leaving a pure don't-care target.
+  for (std::size_t i = 0; i + 1 < eligible.size(); ++i) {
+    const std::uint64_t j = i + rng.below(eligible.size() - i);
+    std::swap(eligible[i], eligible[j]);
+  }
+  std::vector<std::uint32_t> picked;
+  std::vector<bool> in_picked_cone(golden.numNodes(), false);
+  for (const std::uint32_t v : eligible) {
+    if (picked.size() >= spec.num_targets) break;
+    if (in_picked_cone[v]) continue;
+    const std::vector<Lit> root{Lit::fromVar(v, false)};
+    const std::vector<std::uint32_t> cone = collectCone(golden, root);
+    bool clash = false;
+    for (const std::uint32_t u : cone) {
+      for (const std::uint32_t p : picked) {
+        if (u == p) clash = true;
+      }
+    }
+    if (clash) continue;
+    if (!cutObservable(golden, v, rng)) continue;
+    picked.push_back(v);
+    for (const std::uint32_t u : cone) in_picked_cone[u] = true;
+    in_picked_cone[v] = true;
+  }
+  // If independence is impossible (tiny circuits), fill with any remaining
+  // eligible nodes.
+  for (const std::uint32_t v : eligible) {
+    if (picked.size() >= spec.num_targets) break;
+    if (std::find(picked.begin(), picked.end(), v) == picked.end()) {
+      picked.push_back(v);
+    }
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+}  // namespace
+
+Aig buildGolden(const UnitSpec& spec) {
+  Rng rng(spec.seed * 0x9E3779B97F4A7C15ULL + 17);
+  switch (spec.family) {
+    case Family::Adder:
+      return makeRippleAdder(spec.size_param);
+    case Family::Comparator:
+      return makeComparator(spec.size_param);
+    case Family::MuxTree:
+      return makeMuxTree(spec.size_param, 3);
+    case Family::Alu:
+      return makeAlu(spec.size_param);
+    case Family::Parity:
+      return makeParity(spec.size_param, 4);
+    case Family::Random:
+      return makeRandomAig(8 + spec.size_param / 64, spec.size_param, 4, rng);
+    case Family::Multiplier:
+      return makeMultiplier(spec.size_param);
+    case Family::PriorityEnc:
+      return makePriorityEncoder(spec.size_param);
+  }
+  ECO_CHECK(false);
+  return Aig();
+}
+
+namespace {
+
+/// Builds the faulty circuit: golden copied with target nodes cut to
+/// floating pseudo-PIs and occasional redundant re-synthesis.
+Aig buildFaulty(const Aig& g, const UnitSpec& spec,
+                const std::vector<std::uint32_t>& target_nodes, Rng& rng) {
+  const std::unordered_set<std::uint32_t> target_set(target_nodes.begin(),
+                                                     target_nodes.end());
+  Aig f;
+  VarMap map;
+  for (std::uint32_t i = 0; i < g.numPis(); ++i) {
+    map[g.piVar(i)] = f.addPi(g.piName(i));
+  }
+  std::vector<Lit> t_pis;
+  for (std::uint32_t k = 0; k < target_nodes.size(); ++k) {
+    t_pis.push_back(f.addPi("t" + std::to_string(k)));
+  }
+
+  // Copy golden structure node by node (topological order), cutting target
+  // nodes and occasionally re-synthesizing with redundant structure so the
+  // two circuits are not graph-identical.
+  std::vector<Lit> pool;  // candidate "other" signals for redundancy wraps
+  for (std::uint32_t i = 0; i < f.numPis(); ++i) pool.push_back(f.piLit(i));
+  std::uint32_t t_index = 0;
+  for (std::uint32_t v = 1; v < g.numNodes(); ++v) {
+    if (!g.isAnd(v)) continue;
+    if (target_set.count(v) != 0) {
+      map[v] = t_pis[t_index++];
+      continue;
+    }
+    const Lit f0 = g.fanin0(v);
+    const Lit f1 = g.fanin1(v);
+    const Lit a = map.at(f0.var()) ^ f0.complemented();
+    const Lit b = map.at(f1.var()) ^ f1.complemented();
+    Lit n = f.addAnd(a, b);
+    if (rng.chance(spec.restructure_pct, 100) && !pool.empty()) {
+      // Functionally redundant re-synthesis: n == n | (n & other)
+      // or n == n & (n | other). Gives FRAIG real work to prove.
+      const Lit other = pool[rng.below(pool.size())] ^ rng.chance(1, 2);
+      n = rng.chance(1, 2) ? f.mkOr(n, f.addAnd(n, other))
+                           : f.addAnd(n, f.mkOr(n, other));
+    }
+    map[v] = n;
+    if (n != kFalse && n != kTrue && !f.isPi(n.var())) pool.push_back(n);
+  }
+  for (std::uint32_t j = 0; j < g.numPos(); ++j) {
+    const Lit d = g.poDriver(j);
+    f.addPo(map.at(d.var()) ^ d.complemented(), g.poName(j));
+  }
+  return f;
+}
+
+/// True iff flipping each target changes some PO under at least one of the
+/// random patterns — i.e. no target is a pure don't-care.
+bool allTargetsObservable(const Aig& f, std::uint32_t num_x, Rng& rng) {
+  const std::uint32_t alpha = f.numPis() - num_x;
+  sim::PatternSet base(f.numPis(), 4);
+  base.randomize(rng);
+  for (std::uint32_t k = 0; k < alpha; ++k) {
+    sim::PatternSet p0 = base, p1 = base;
+    for (std::uint32_t w = 0; w < 4; ++w) {
+      p0.of(num_x + k)[w] = 0;
+      p1.of(num_x + k)[w] = ~std::uint64_t{0};
+    }
+    const sim::PatternSet v0 = sim::simulateAll(f, p0);
+    const sim::PatternSet v1 = sim::simulateAll(f, p1);
+    bool observable = false;
+    for (std::uint32_t j = 0; j < f.numPos() && !observable; ++j) {
+      const Lit d = f.poDriver(j);
+      for (std::uint32_t w = 0; w < 4; ++w) {
+        if (v0.of(d.var())[w] != v1.of(d.var())[w]) {
+          observable = true;
+          break;
+        }
+      }
+    }
+    if (!observable) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+EcoInstance generateUnit(const UnitSpec& spec) {
+  EcoInstance inst;
+  inst.name = spec.name;
+  Rng rng(spec.seed);
+  inst.golden = buildGolden(spec);
+  const Aig& g = inst.golden;
+  inst.num_x = g.numPis();
+
+  // Retry target placement until every target is observable under random
+  // simulation (heavily masked cuts make trivially constant patches).
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    const std::vector<std::uint32_t> target_nodes = pickTargets(g, spec, rng);
+    inst.faulty = buildFaulty(g, spec, target_nodes, rng);
+    if (allTargetsObservable(inst.faulty, inst.num_x, rng)) break;
+  }
+  Aig& f = inst.faulty;
+
+  // Name every internal AND node of the faulty circuit; these names carry
+  // the weights and are the patch-base namespace.
+  for (std::uint32_t v = 1; v < f.numNodes(); ++v) {
+    if (f.isAnd(v)) {
+      f.setSignalName(Lit::fromVar(v, false), "w" + std::to_string(v));
+    }
+  }
+
+  // Weight profile.
+  for (std::uint32_t i = 0; i < f.numPis(); ++i) {
+    inst.weights[f.piName(i)] =
+        spec.pi_weight + rng.below(static_cast<std::uint64_t>(
+                             std::max(1.0, spec.weight_jitter * 4)));
+  }
+  for (const auto& [name, lit] : f.namedSignals()) {
+    (void)lit;
+    inst.weights[name] =
+        spec.internal_weight +
+        rng.below(static_cast<std::uint64_t>(std::max(1.0, spec.weight_jitter)));
+  }
+  inst.default_weight = spec.internal_weight;
+  return inst;
+}
+
+std::vector<UnitSpec> contestSuite() {
+  std::vector<UnitSpec> units;
+  const auto add = [&](UnitSpec u) { units.push_back(std::move(u)); };
+
+  add({.name = "unit01", .family = Family::Adder, .size_param = 4,
+       .num_targets = 1, .seed = 101});
+  add({.name = "unit02", .family = Family::Comparator, .size_param = 6,
+       .num_targets = 1, .seed = 102});
+  add({.name = "unit03", .family = Family::MuxTree, .size_param = 3,
+       .num_targets = 1, .seed = 103, .pi_weight = 8});
+  add({.name = "unit04", .family = Family::Alu, .size_param = 4,
+       .num_targets = 1, .seed = 104});
+  add({.name = "unit05", .family = Family::Adder, .size_param = 12,
+       .num_targets = 2, .seed = 105, .target_depth_frac = 0.3});
+  add({.name = "unit06", .family = Family::Alu, .size_param = 8,
+       .num_targets = 2, .seed = 106, .target_depth_frac = 0.6,
+       .pi_weight = 40, .internal_weight = 1});  // difficult
+  add({.name = "unit07", .family = Family::Parity, .size_param = 16,
+       .num_targets = 1, .seed = 107, .pi_weight = 12});
+  add({.name = "unit08", .family = Family::Random, .size_param = 300,
+       .num_targets = 1, .seed = 108});
+  add({.name = "unit09", .family = Family::Comparator, .size_param = 10,
+       .num_targets = 4, .seed = 109});
+  add({.name = "unit10", .family = Family::Random, .size_param = 800,
+       .num_targets = 2, .seed = 110, .target_depth_frac = 0.5,
+       .pi_weight = 16});  // difficult
+  add({.name = "unit11", .family = Family::Alu, .size_param = 10,
+       .num_targets = 8, .seed = 111, .target_depth_frac = 0.4,
+       .pi_weight = 24});  // difficult
+  add({.name = "unit12", .family = Family::MuxTree, .size_param = 4,
+       .num_targets = 1, .seed = 112});
+  add({.name = "unit13", .family = Family::Adder, .size_param = 16,
+       .num_targets = 1, .seed = 113, .pi_weight = 120,
+       .internal_weight = 30, .weight_jitter = 8});
+  add({.name = "unit14", .family = Family::Random, .size_param = 500,
+       .num_targets = 12, .seed = 114});
+  add({.name = "unit15", .family = Family::Comparator, .size_param = 8,
+       .num_targets = 1, .seed = 115, .target_depth_frac = 0.5,
+       .pi_weight = 10});
+  add({.name = "unit16", .family = Family::PriorityEnc, .size_param = 12,
+       .num_targets = 2, .seed = 116, .pi_weight = 14});
+  add({.name = "unit17", .family = Family::Parity, .size_param = 24,
+       .num_targets = 8, .seed = 117});
+  add({.name = "unit18", .family = Family::Multiplier, .size_param = 4,
+       .num_targets = 1, .seed = 118, .target_depth_frac = 0.4});
+  add({.name = "unit19", .family = Family::Random, .size_param = 1200,
+       .num_targets = 4, .seed = 119, .target_depth_frac = 0.6,
+       .pi_weight = 60, .internal_weight = 2});  // most difficult
+  add({.name = "unit20", .family = Family::Alu, .size_param = 6,
+       .num_targets = 4, .seed = 120});
+  return units;
+}
+
+}  // namespace eco::benchgen

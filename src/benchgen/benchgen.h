@@ -1,0 +1,61 @@
+#pragma once
+// Synthetic ECO benchmark generation (the contest-suite substitution; see
+// DESIGN.md "Substitutions").
+//
+// A unit is built from a golden circuit by (1) re-synthesizing parts of the
+// copy with functionally redundant structure — so the FRAIG stage has real
+// equivalences to prove rather than a graph-identical mirror — and
+// (2) cutting the drivers of selected internal nodes, which become the
+// floating target pseudo-PIs. Substituting each cut node's original
+// function rectifies the unit, so every generated instance is rectifiable
+// by construction. Weights follow a per-unit profile (expensive primary
+// inputs and cheap local signals on the "difficult" units, mirroring why
+// intermediate-signal patches win in the paper's Table 2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eco/instance.h"
+
+namespace eco::benchgen {
+
+enum class Family {
+  Adder,
+  Comparator,
+  MuxTree,
+  Alu,
+  Parity,
+  Random,
+  Multiplier,
+  PriorityEnc,
+};
+
+struct UnitSpec {
+  std::string name;
+  Family family = Family::Adder;
+  std::uint32_t size_param = 4;   ///< bits / selects / AND budget
+  std::uint32_t num_targets = 1;
+  std::uint64_t seed = 1;
+  /// Target placement: minimum structural depth fraction (0 = anywhere,
+  /// 0.6 = deep nodes only — wide PI support, hard for PI-based patching).
+  double target_depth_frac = 0.0;
+  /// Probability (percent) of redundant re-synthesis per copied node.
+  std::uint32_t restructure_pct = 10;
+  double pi_weight = 4.0;        ///< base weight of X inputs
+  double internal_weight = 1.0;  ///< base weight of internal signals
+  double weight_jitter = 1.0;    ///< uniform jitter added to both
+};
+
+/// Builds the golden circuit of a spec (without faults).
+Aig buildGolden(const UnitSpec& spec);
+
+/// Generates the full instance: faulty circuit with floating targets,
+/// golden circuit, and the weight file contents.
+EcoInstance generateUnit(const UnitSpec& spec);
+
+/// The 20-unit suite mirroring the difficulty spread of the paper's
+/// Table 2 (units 6, 10, 11 and 19 are the "difficult" instances).
+std::vector<UnitSpec> contestSuite();
+
+}  // namespace eco::benchgen

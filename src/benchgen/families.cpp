@@ -1,0 +1,234 @@
+#include "benchgen/families.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+#include "sim/sim.h"
+
+namespace eco::benchgen {
+namespace {
+
+std::vector<Lit> addInputs(Aig& aig, std::uint32_t n, std::uint32_t& counter) {
+  std::vector<Lit> pis;
+  pis.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    pis.push_back(aig.addPi("x" + std::to_string(counter++)));
+  }
+  return pis;
+}
+
+}  // namespace
+
+Aig makeRippleAdder(std::uint32_t bits) {
+  ECO_CHECK(bits >= 1);
+  Aig aig;
+  std::uint32_t c = 0;
+  const std::vector<Lit> a = addInputs(aig, bits, c);
+  const std::vector<Lit> b = addInputs(aig, bits, c);
+  Lit carry = kFalse;
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    const Lit s = aig.mkXor(aig.mkXor(a[i], b[i]), carry);
+    const Lit g = aig.addAnd(a[i], b[i]);
+    const Lit p = aig.addAnd(aig.mkXor(a[i], b[i]), carry);
+    carry = aig.mkOr(g, p);
+    aig.addPo(s, "sum" + std::to_string(i));
+  }
+  aig.addPo(carry, "cout");
+  return aig;
+}
+
+Aig makeComparator(std::uint32_t bits) {
+  ECO_CHECK(bits >= 1);
+  Aig aig;
+  std::uint32_t c = 0;
+  const std::vector<Lit> a = addInputs(aig, bits, c);
+  const std::vector<Lit> b = addInputs(aig, bits, c);
+  // MSB-first magnitude comparison.
+  Lit lt = kFalse;
+  Lit eq = kTrue;
+  for (std::uint32_t i = bits; i-- > 0;) {
+    const Lit bit_lt = aig.addAnd(!a[i], b[i]);
+    const Lit bit_eq = aig.mkEquiv(a[i], b[i]);
+    lt = aig.mkOr(lt, aig.addAnd(eq, bit_lt));
+    eq = aig.addAnd(eq, bit_eq);
+  }
+  aig.addPo(lt, "lt");
+  aig.addPo(eq, "eq");
+  aig.addPo(!aig.mkOr(lt, eq), "gt");
+  return aig;
+}
+
+Aig makeMuxTree(std::uint32_t sels, std::uint32_t width) {
+  ECO_CHECK(sels >= 1 && sels <= 8 && width >= 1);
+  Aig aig;
+  std::uint32_t c = 0;
+  const std::vector<Lit> sel = addInputs(aig, sels, c);
+  const std::uint32_t words = 1u << sels;
+  std::vector<std::vector<Lit>> data(words);
+  for (std::uint32_t wd = 0; wd < words; ++wd) data[wd] = addInputs(aig, width, c);
+
+  for (std::uint32_t bit = 0; bit < width; ++bit) {
+    std::vector<Lit> level;
+    for (std::uint32_t wd = 0; wd < words; ++wd) level.push_back(data[wd][bit]);
+    for (std::uint32_t s = 0; s < sels; ++s) {
+      std::vector<Lit> nxt;
+      for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+        nxt.push_back(aig.mkMux(sel[s], level[i + 1], level[i]));
+      }
+      level = std::move(nxt);
+    }
+    aig.addPo(level[0], "y" + std::to_string(bit));
+  }
+  return aig;
+}
+
+Aig makeAlu(std::uint32_t bits) {
+  ECO_CHECK(bits >= 1);
+  Aig aig;
+  std::uint32_t c = 0;
+  const std::vector<Lit> a = addInputs(aig, bits, c);
+  const std::vector<Lit> b = addInputs(aig, bits, c);
+  const std::vector<Lit> op = addInputs(aig, 2, c);
+
+  Lit carry = kFalse;
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    const Lit sum = aig.mkXor(aig.mkXor(a[i], b[i]), carry);
+    carry = aig.mkOr(aig.addAnd(a[i], b[i]),
+                     aig.addAnd(aig.mkXor(a[i], b[i]), carry));
+    const Lit and_bit = aig.addAnd(a[i], b[i]);
+    const Lit or_bit = aig.mkOr(a[i], b[i]);
+    const Lit xor_bit = aig.mkXor(a[i], b[i]);
+    const Lit lo = aig.mkMux(op[0], and_bit, sum);      // op1=0: add/and
+    const Lit hi = aig.mkMux(op[0], xor_bit, or_bit);   // op1=1: or/xor
+    aig.addPo(aig.mkMux(op[1], hi, lo), "r" + std::to_string(i));
+  }
+  return aig;
+}
+
+Aig makeParity(std::uint32_t bits, std::uint32_t slice) {
+  ECO_CHECK(bits >= 2 && slice >= 2);
+  Aig aig;
+  std::uint32_t c = 0;
+  const std::vector<Lit> x = addInputs(aig, bits, c);
+  Lit total = kFalse;
+  std::uint32_t group = 0;
+  for (std::uint32_t i = 0; i < bits; i += slice) {
+    Lit p = kFalse;
+    for (std::uint32_t j = i; j < std::min(bits, i + slice); ++j) {
+      p = aig.mkXor(p, x[j]);
+    }
+    aig.addPo(p, "p" + std::to_string(group++));
+    total = aig.mkXor(total, p);
+  }
+  aig.addPo(total, "ptotal");
+  return aig;
+}
+
+Aig makeMultiplier(std::uint32_t bits) {
+  ECO_CHECK(bits >= 1);
+  Aig aig;
+  std::uint32_t c = 0;
+  const std::vector<Lit> a = addInputs(aig, bits, c);
+  const std::vector<Lit> b = addInputs(aig, bits, c);
+  // Shift-and-add array of partial products.
+  std::vector<Lit> acc(2 * bits, kFalse);
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    // Row i: (a & b[i]) << i added into the accumulator.
+    Lit carry = kFalse;
+    for (std::uint32_t j = 0; j < bits; ++j) {
+      const Lit pp = aig.addAnd(a[j], b[i]);
+      const Lit x = acc[i + j];
+      const Lit sum = aig.mkXor(aig.mkXor(x, pp), carry);
+      carry = aig.mkOr(aig.addAnd(x, pp),
+                       aig.addAnd(aig.mkXor(x, pp), carry));
+      acc[i + j] = sum;
+    }
+    // Ripple the final carry upward.
+    for (std::uint32_t j = i + bits; j < 2 * bits && carry != kFalse; ++j) {
+      const Lit x = acc[j];
+      acc[j] = aig.mkXor(x, carry);
+      carry = aig.addAnd(x, carry);
+    }
+  }
+  for (std::uint32_t j = 0; j < 2 * bits; ++j) {
+    aig.addPo(acc[j], "p" + std::to_string(j));
+  }
+  return aig;
+}
+
+Aig makePriorityEncoder(std::uint32_t n) {
+  ECO_CHECK(n >= 2);
+  Aig aig;
+  std::uint32_t c = 0;
+  const std::vector<Lit> req = addInputs(aig, n, c);
+  std::uint32_t idx_bits = 0;
+  while ((1u << idx_bits) < n) ++idx_bits;
+
+  // grant[i]: request i active and no higher request active.
+  Lit any_higher = kFalse;
+  std::vector<Lit> grant(n);
+  for (std::uint32_t i = n; i-- > 0;) {
+    // Iterate from the highest priority (index n-1) downwards.
+    const std::uint32_t hi = i;
+    grant[hi] = aig.addAnd(req[hi], !any_higher);
+    any_higher = aig.mkOr(any_higher, req[hi]);
+  }
+  for (std::uint32_t b = 0; b < idx_bits; ++b) {
+    Lit bit = kFalse;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if ((i >> b) & 1) bit = aig.mkOr(bit, grant[i]);
+    }
+    aig.addPo(bit, "idx" + std::to_string(b));
+  }
+  aig.addPo(any_higher, "valid");
+  return aig;
+}
+
+Aig makeRandomAig(std::uint32_t pis, std::uint32_t ands, std::uint32_t pos,
+                  Rng& rng) {
+  ECO_CHECK(pis >= 2 && pos >= 1);
+  Aig aig;
+  std::uint32_t c = 0;
+  addInputs(aig, pis, c);
+  std::vector<Lit> pool;
+  for (std::uint32_t i = 0; i < pis; ++i) pool.push_back(aig.piLit(i));
+
+  for (std::uint32_t i = 0; i < ands; ++i) {
+    // Bias toward recent nodes so depth grows.
+    const auto pick = [&]() -> Lit {
+      const std::uint64_t n = pool.size();
+      const std::uint64_t idx = rng.chance(1, 2) ? n - 1 - rng.below(std::min<std::uint64_t>(n, 16))
+                                                 : rng.below(n);
+      return pool[idx] ^ rng.chance(1, 2);
+    };
+    const Lit v = aig.addAnd(pick(), pick());
+    if (v != kFalse && v != kTrue) pool.push_back(v);
+  }
+  // Root the outputs at deep nodes with balanced functions; near-constant
+  // roots would make the whole instance trivially patchable.
+  sim::PatternSet patterns(pis, 4);
+  patterns.randomize(rng);
+  const sim::PatternSet values = sim::simulateAll(aig, patterns);
+  const auto balance = [&](Lit l) {
+    std::uint32_t ones = 0;
+    for (const std::uint64_t w : values.of(l.var())) {
+      ones += static_cast<std::uint32_t>(__builtin_popcountll(w));
+    }
+    const std::uint32_t total = 64 * values.wordsPerSignal();
+    return std::min(ones, total - ones);
+  };
+  std::vector<Lit> ranked(pool.begin() + pis, pool.end());
+  std::sort(ranked.begin(), ranked.end(), [&](Lit a, Lit b) {
+    const auto ba = balance(a), bb = balance(b);
+    // Prefer balanced then deep (higher var index = later = deeper-ish).
+    return ba != bb ? ba > bb : a.var() > b.var();
+  });
+  for (std::uint32_t j = 0; j < pos && j < ranked.size(); ++j) {
+    aig.addPo(ranked[j] ^ rng.chance(1, 2), "o" + std::to_string(j));
+  }
+  return aig;
+}
+
+}  // namespace eco::benchgen

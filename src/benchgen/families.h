@@ -1,0 +1,48 @@
+#pragma once
+// Golden-circuit families for the synthetic contest suite.
+//
+// Each builder returns a self-contained AIG with named PIs ("x0", "x1", …)
+// and named POs. Families are chosen to span the structure of the ICCAD'17
+// units: arithmetic carry chains, wide comparators, control-style MUX
+// trees, ALU slices with shared operand logic, XOR-heavy parity cones, and
+// unstructured random logic.
+
+#include <cstdint>
+
+#include "aig/aig.h"
+#include "base/rng.h"
+
+namespace eco::benchgen {
+
+/// Ripple-carry adder: 2*bits inputs, bits+1 outputs (sum, carry-out).
+Aig makeRippleAdder(std::uint32_t bits);
+
+/// Magnitude comparator: 2*bits inputs, outputs lt / eq / gt.
+Aig makeComparator(std::uint32_t bits);
+
+/// `width`-bit 2^sels : 1 multiplexer tree; inputs are the select lines
+/// followed by the data words, outputs the selected word.
+Aig makeMuxTree(std::uint32_t sels, std::uint32_t width);
+
+/// Small ALU: operands a/b (`bits` wide), 2 op-select bits; op 0 = add,
+/// 1 = and, 2 = or, 3 = xor. Outputs `bits` result bits.
+Aig makeAlu(std::uint32_t bits);
+
+/// Sliced parity: `bits` inputs, one XOR-parity output per `slice`-bit
+/// group plus a global parity output.
+Aig makeParity(std::uint32_t bits, std::uint32_t slice);
+
+/// Array multiplier: 2*bits inputs, 2*bits product outputs. Quadratic in
+/// `bits` — the hardest family for SAT-based reasoning.
+Aig makeMultiplier(std::uint32_t bits);
+
+/// Priority encoder with valid flag: `n` request inputs, ceil(log2 n) index
+/// outputs (highest-index active request wins) plus `valid`.
+Aig makePriorityEncoder(std::uint32_t n);
+
+/// Random AIG: `pis` inputs, about `ands` AND nodes, `pos` outputs rooted
+/// at deep nodes.
+Aig makeRandomAig(std::uint32_t pis, std::uint32_t ands, std::uint32_t pos,
+                  Rng& rng);
+
+}  // namespace eco::benchgen

@@ -1,0 +1,50 @@
+#include "cnf/cnf.h"
+
+#include <vector>
+
+#include "base/check.h"
+
+namespace eco::cnf {
+
+sat::SLit encodeCone(const Aig& aig, Lit root, CnfMap& map, ClauseSink& sink) {
+  // Constant node: a frozen-false variable shared within this map.
+  if (map.count(0) == 0) {
+    const sat::Var f = sink.newVar();
+    sink.addClause({sat::SLit::make(f, true)});
+    map[0] = sat::SLit::make(f, false);
+  }
+
+  // Iterative bounded DFS: variables already present in `map` are leaves.
+  std::vector<std::uint32_t> stack{root.var()};
+  while (!stack.empty()) {
+    const std::uint32_t var = stack.back();
+    if (map.count(var) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    ECO_CHECK_MSG(!aig.isPi(var), "encodeCone: unmapped PI in cone");
+    const Lit f0 = aig.fanin0(var);
+    const Lit f1 = aig.fanin1(var);
+    const bool need0 = map.count(f0.var()) == 0;
+    const bool need1 = map.count(f1.var()) == 0;
+    if (need0) stack.push_back(f0.var());
+    if (need1) stack.push_back(f1.var());
+    if (need0 || need1) continue;
+    stack.pop_back();
+    const sat::SLit a = map.at(f0.var());
+    const sat::SLit sa = f0.complemented() ? ~a : a;
+    const sat::SLit b = map.at(f1.var());
+    const sat::SLit sb = f1.complemented() ? ~b : b;
+    const sat::Var v = sink.newVar();
+    const sat::SLit sv = sat::SLit::make(v, false);
+    // v <-> (sa & sb)
+    sink.addClause({~sv, sa});
+    sink.addClause({~sv, sb});
+    sink.addClause({sv, ~sa, ~sb});
+    map.emplace(var, sv);
+  }
+  const sat::SLit r = map.at(root.var());
+  return root.complemented() ? ~r : r;
+}
+
+}  // namespace eco::cnf

@@ -1,0 +1,53 @@
+#pragma once
+// Tseitin encoding of AIG cones into CNF.
+//
+// Clauses are emitted through a ClauseSink so the same encoder serves plain
+// satisfiability queries (SolverSink) and partitioned interpolation queries
+// (the A/B sinks of itp::ItpJob).
+
+#include <span>
+#include <unordered_map>
+
+#include "aig/aig.h"
+#include "sat/solver.h"
+
+namespace eco::cnf {
+
+/// Destination for encoded clauses and fresh variables.
+class ClauseSink {
+ public:
+  virtual ~ClauseSink() = default;
+  virtual sat::Var newVar() = 0;
+  virtual void addClause(std::span<const sat::SLit> lits) = 0;
+
+  void addClause(std::initializer_list<sat::SLit> lits) {
+    addClause(std::span<const sat::SLit>(lits.begin(), lits.size()));
+  }
+};
+
+/// Sink writing directly into a solver.
+class SolverSink final : public ClauseSink {
+ public:
+  explicit SolverSink(sat::Solver& solver) : solver_(solver) {}
+  sat::Var newVar() override { return solver_.newVar(); }
+  void addClause(std::span<const sat::SLit> lits) override {
+    solver_.addClause(lits);
+  }
+
+ private:
+  sat::Solver& solver_;
+};
+
+/// Maps AIG variables to solver literals for one encoding context.
+/// Pre-seed PI variables before encoding; internal nodes are added lazily.
+using CnfMap = std::unordered_map<std::uint32_t, sat::SLit>;
+
+/// Encodes the cone of `root` with full Tseitin clauses (v <-> a & b) and
+/// returns the solver literal of `root`. PI variables reachable from `root`
+/// must be present in `map`; the constant node is handled internally via a
+/// dedicated frozen-false variable per map. Nodes whose variable is already
+/// in `map` are treated as frontier leaves (not expanded) — this implements
+/// cut re-expression for localization (Theorem 2).
+sat::SLit encodeCone(const Aig& aig, Lit root, CnfMap& map, ClauseSink& sink);
+
+}  // namespace eco::cnf

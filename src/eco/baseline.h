@@ -1,0 +1,29 @@
+#pragma once
+// Baselines for the Table 2 and E6 experiments (see DESIGN.md).
+//
+// Winner proxy — stands in for the closed-source 1st-place contest tool:
+// a complete multi-fix engine in the style of Tang et al. DATE'12 [20],
+// whose patches read primary inputs only (no localization, no intermediate
+// bases), with greedy PI-support cost reduction.
+//
+// Tang'11 proxy — the prior method [19] adapted to pre-specified targets:
+// every target is patched independently with the other targets held at
+// constant 0. Sound when it verifies, but incomplete: coupled targets make
+// it fail, which is exactly the paper's motivation for Algorithm 1.
+
+#include "eco/engine.h"
+#include "eco/instance.h"
+
+namespace eco {
+
+/// Options configuring EcoEngine as the PI-support winner proxy.
+EcoOptions winnerProxyOptions();
+
+/// Runs the winner proxy on an instance.
+PatchResult runWinnerProxy(const EcoInstance& instance);
+
+/// Runs the [19]-style independent per-target fix. `result.success` is
+/// false when the independently derived patches do not verify.
+PatchResult runTang11(const EcoInstance& instance);
+
+}  // namespace eco

@@ -1,0 +1,59 @@
+#include "eco/candidates.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "aig/aig_ops.h"
+
+namespace eco {
+
+std::vector<Candidate> collectCandidates(const EcoInstance& instance,
+                                         const Workspace& ws) {
+  const Aig& f = instance.faulty;
+  std::vector<Candidate> out;
+
+  // Workspace nodes downstream of any target are off limits.
+  std::vector<std::uint32_t> t_vars;
+  for (const Lit t : ws.t_pis) t_vars.push_back(t.var());
+  const std::vector<bool> tfo = transitiveFanoutMask(ws.w, t_vars);
+
+  // X primary inputs.
+  for (std::uint32_t i = 0; i < instance.num_x; ++i) {
+    Candidate c;
+    c.name = f.piName(i);
+    c.f_lit = f.piLit(i);
+    c.w_fn = ws.x_pis[i];
+    c.weight = instance.weightOf(c.name);
+    out.push_back(std::move(c));
+  }
+
+  // Named internal signals, deduplicated by workspace function: when two
+  // names compute the same function, keep the cheaper one.
+  std::unordered_map<std::uint32_t, std::size_t> by_fn;  // w lit value -> index
+  for (std::size_t i = 0; i < out.size(); ++i) by_fn[out[i].w_fn.value()] = i;
+  for (const auto& [name, f_lit] : f.namedSignals()) {
+    const auto it = ws.faulty_to_w.find(f_lit.var());
+    if (it == ws.faulty_to_w.end()) continue;  // not carried into workspace
+    const Lit w_fn = it->second ^ f_lit.complemented();
+    if (tfo[w_fn.var()]) continue;
+    Candidate c;
+    c.name = name;
+    c.f_lit = f_lit;
+    c.w_fn = w_fn;
+    c.weight = instance.weightOf(name);
+    const auto dup = by_fn.find(w_fn.value());
+    if (dup != by_fn.end()) {
+      // Keep the cheaper of the two names; X PI entries keep their slot so
+      // the X-prefix index alignment is preserved.
+      if (dup->second >= instance.num_x && c.weight < out[dup->second].weight) {
+        out[dup->second] = std::move(c);
+      }
+      continue;
+    }
+    by_fn[w_fn.value()] = out.size();
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace eco

@@ -1,0 +1,30 @@
+#pragma once
+// Patch-base candidate signals.
+//
+// A candidate is an existing signal of the faulty netlist that a patch may
+// read: an X primary input or a named internal signal. Signals inside the
+// transitive fanout of any target are excluded — reading them from a patch
+// would create a combinational cycle through the rectified targets.
+
+#include <string>
+#include <vector>
+
+#include "eco/instance.h"
+#include "eco/relations.h"
+
+namespace eco {
+
+struct Candidate {
+  std::string name;  ///< faulty netlist signal name
+  Lit f_lit;         ///< literal in the faulty AIG
+  Lit w_fn;          ///< the signal's function in the workspace (over X only)
+  double weight = 0;
+};
+
+/// Collects all base candidates of an instance: X PIs first (index-aligned
+/// with ws.x_pis), then named internal signals outside the targets' TFO,
+/// deduplicated by workspace function (cheapest name wins).
+std::vector<Candidate> collectCandidates(const EcoInstance& instance,
+                                         const Workspace& ws);
+
+}  // namespace eco

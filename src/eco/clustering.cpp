@@ -1,0 +1,74 @@
+#include "eco/clustering.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "aig/aig_ops.h"
+
+namespace eco {
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::uint32_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+std::vector<TargetCluster> clusterTargets(const EcoInstance& instance) {
+  const Aig& f = instance.faulty;
+  const std::uint32_t alpha = instance.numTargets();
+
+  // For each PO, which targets reach it.
+  std::vector<std::vector<std::uint32_t>> po_targets(f.numPos());
+  for (std::uint32_t k = 0; k < alpha; ++k) {
+    const std::uint32_t tvar = f.piVar(instance.targetPi(k));
+    const std::vector<std::uint32_t> src{tvar};
+    const std::vector<bool> tfo = transitiveFanoutMask(f, src);
+    for (std::uint32_t j = 0; j < f.numPos(); ++j) {
+      if (tfo[f.poDriver(j).var()]) po_targets[j].push_back(k);
+    }
+  }
+
+  // Merge targets that share a PO.
+  UnionFind uf(alpha);
+  for (const auto& ts : po_targets) {
+    for (std::size_t i = 1; i < ts.size(); ++i) uf.unite(ts[0], ts[i]);
+  }
+
+  // Collect clusters in order of their smallest target index.
+  std::vector<TargetCluster> clusters;
+  std::vector<int> cluster_of_root(alpha, -1);
+  for (std::uint32_t k = 0; k < alpha; ++k) {
+    const std::uint32_t root = uf.find(k);
+    if (cluster_of_root[root] < 0) {
+      cluster_of_root[root] = static_cast<int>(clusters.size());
+      clusters.emplace_back();
+    }
+    clusters[cluster_of_root[root]].targets.push_back(k);
+  }
+  for (std::uint32_t j = 0; j < f.numPos(); ++j) {
+    if (po_targets[j].empty()) continue;
+    const std::uint32_t root = uf.find(po_targets[j][0]);
+    clusters[cluster_of_root[root]].outputs.push_back(j);
+  }
+  for (auto& c : clusters) {
+    std::sort(c.outputs.begin(), c.outputs.end());
+  }
+  return clusters;
+}
+
+}  // namespace eco

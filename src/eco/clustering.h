@@ -1,0 +1,26 @@
+#pragma once
+// Target clustering (Fig. 2 of the paper).
+//
+// Two targets belong to one group when they share a primary output in
+// their transitive fanout cones; groups sharing a target are merged
+// transitively. Rectification then proceeds one group at a time, which
+// keeps the care/diff constructions local to the outputs a group can
+// actually influence.
+
+#include <cstdint>
+#include <vector>
+
+#include "eco/instance.h"
+
+namespace eco {
+
+struct TargetCluster {
+  std::vector<std::uint32_t> targets;  ///< target indices (0-based)
+  std::vector<std::uint32_t> outputs;  ///< PO indices reachable from them
+};
+
+/// Groups the instance's targets. Every target appears in exactly one
+/// cluster; POs unreachable from any target appear in no cluster.
+std::vector<TargetCluster> clusterTargets(const EcoInstance& instance);
+
+}  // namespace eco

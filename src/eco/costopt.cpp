@@ -1,0 +1,199 @@
+#include "eco/costopt.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/check.h"
+
+namespace eco {
+namespace {
+
+double costOf(std::span<const double> weight, std::span<const std::uint32_t> base) {
+  double c = 0;
+  for (const std::uint32_t i : base) c += weight[i];
+  return c;
+}
+
+/// Shrinks a feasible base with its unsat core, then by greedy removal in
+/// non-increasing weight order. Every intermediate set is re-verified.
+std::vector<std::uint32_t> shrinkBase(RebaseOracle& oracle,
+                                      std::span<const double> weight,
+                                      std::vector<std::uint32_t> base) {
+  if (oracle.feasible(base)) base = oracle.lastCore();
+  std::vector<std::uint32_t> order = base;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return weight[a] > weight[b];
+  });
+  for (const std::uint32_t victim : order) {
+    std::vector<std::uint32_t> trial;
+    for (const std::uint32_t i : base) {
+      if (i != victim) trial.push_back(i);
+    }
+    if (trial.size() < base.size() && oracle.feasible(trial)) {
+      base = oracle.lastCore();
+    }
+  }
+  return base;
+}
+
+void sortByWeightDesc(std::span<const double> weight,
+                      std::vector<std::uint32_t>& v) {
+  std::sort(v.begin(), v.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return weight[a] != weight[b] ? weight[a] > weight[b] : a < b;
+  });
+}
+
+}  // namespace
+
+BaseSelection selectBase(RebaseOracle& oracle,
+                         std::span<const double> effective_weight,
+                         std::span<const std::uint32_t> initial,
+                         const EcoOptions& options) {
+  const std::uint32_t n = oracle.numCandidates();
+  ECO_CHECK(effective_weight.size() == n);
+  const std::uint32_t beta = std::max<std::uint32_t>(1, options.watch_size);
+  const std::uint32_t max_cex = std::min<std::uint32_t>(
+      64, beta >= 6 ? 64 : (std::uint32_t{1} << beta));
+
+  BaseSelection best;
+  best.base = shrinkBase(oracle, effective_weight,
+                         {initial.begin(), initial.end()});
+  best.cost = costOf(effective_weight, best.base);
+
+  // Step 1: base ordered by weight, non-increasing; the Watch window of
+  // size beta rotates over it (Step 4) and is challenged each round.
+  std::vector<std::uint32_t> base = best.base;
+  sortByWeightDesc(effective_weight, base);
+  // Paper Step 4 terminates after |B| rounds; additionally capped for
+  // pathologically large initial bases.
+  const std::uint32_t rounds =
+      std::min<std::uint32_t>(static_cast<std::uint32_t>(base.size()), 24);
+  std::size_t offset = 0;
+
+  for (std::uint32_t round = 0; round < rounds; ++round) {
+    if (base.empty()) break;
+    if (offset >= base.size()) offset = 0;
+    const std::size_t wlen = std::min<std::size_t>(beta, base.size());
+    std::vector<std::uint32_t> watch, hold;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      const bool in_window =
+          (i >= offset && i < offset + wlen) ||
+          (offset + wlen > base.size() && i < offset + wlen - base.size());
+      (in_window ? watch : hold).push_back(base[i]);
+    }
+    const std::unordered_set<std::uint32_t> hold_set(hold.begin(), hold.end());
+    double watch_cost = 0;
+    for (const std::uint32_t wsig : watch) watch_cost += effective_weight[wsig];
+
+    // Step 2: counterexamples for candidates outside Hold. Candidates at
+    // least as expensive as the whole Watch group cannot improve the base;
+    // the remaining pool is capped cheapest-first (max_step2_candidates) to
+    // bound the enumeration cost, with the Watch signals always included.
+    std::vector<std::uint32_t> step2;
+    for (std::uint32_t b = 0; b < n; ++b) {
+      if (hold_set.count(b) != 0) continue;
+      const bool in_watch =
+          std::find(watch.begin(), watch.end(), b) != watch.end();
+      if (in_watch) continue;  // appended below, exempt from the cap
+      if (watch_cost > 0 && effective_weight[b] >= watch_cost) continue;
+      step2.push_back(b);
+    }
+    std::sort(step2.begin(), step2.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return effective_weight[a] != effective_weight[b]
+                 ? effective_weight[a] < effective_weight[b]
+                 : a < b;
+    });
+    step2.resize(std::min<std::size_t>(step2.size(),
+                                       options.max_step2_candidates));
+    step2.insert(step2.end(), watch.begin(), watch.end());
+
+    std::unordered_map<std::uint32_t, std::unordered_set<std::uint64_t>> cex_of;
+    std::unordered_set<std::uint64_t> universe;
+    for (const std::uint32_t b : step2) {
+      std::vector<std::uint32_t> selected = hold;
+      selected.push_back(b);
+      const std::vector<std::uint64_t> pats =
+          oracle.enumerateCex(selected, watch, max_cex);
+      auto& set = cex_of[b];
+      set.insert(pats.begin(), pats.end());
+      universe.insert(pats.begin(), pats.end());
+    }
+
+    // Step 3: greedily add candidates by smallest CPB (Eq. 13) until the
+    // selection is feasible without the Watch signals.
+    std::vector<std::uint32_t> gamma;
+    std::unordered_set<std::uint32_t> gamma_set;
+    std::unordered_set<std::uint64_t> remaining = universe;
+    bool success = false;
+    for (std::uint32_t iter = 0; iter <= n; ++iter) {
+      std::vector<std::uint32_t> selected = hold;
+      selected.insert(selected.end(), gamma.begin(), gamma.end());
+      if (oracle.feasible(selected)) {
+        success = true;
+        break;
+      }
+      double best_cpb = std::numeric_limits<double>::infinity();
+      int pick = -1;
+      for (const auto& [b, set] : cex_of) {
+        if (gamma_set.count(b) != 0) continue;
+        std::size_t blocked = 0;
+        for (const std::uint64_t pat : remaining) {
+          if (set.count(pat) == 0) ++blocked;
+        }
+        if (blocked == 0) continue;
+        const double cpb = effective_weight[b] / static_cast<double>(blocked);
+        if (cpb < best_cpb) {
+          best_cpb = cpb;
+          pick = static_cast<int>(b);
+        }
+      }
+      if (pick < 0) {
+        // No candidate blocks anything new: re-add the cheapest unused
+        // Watch signal to restore feasibility.
+        for (const std::uint32_t wsig : watch) {
+          if (gamma_set.count(wsig) == 0 &&
+              (pick < 0 ||
+               effective_weight[wsig] <
+                   effective_weight[static_cast<std::uint32_t>(pick)])) {
+            pick = static_cast<int>(wsig);
+          }
+        }
+        if (pick < 0) break;  // nothing left to add
+      }
+      gamma.push_back(static_cast<std::uint32_t>(pick));
+      gamma_set.insert(static_cast<std::uint32_t>(pick));
+      if (const auto it = cex_of.find(static_cast<std::uint32_t>(pick));
+          it != cex_of.end()) {
+        for (auto pit = remaining.begin(); pit != remaining.end();) {
+          if (it->second.count(*pit) == 0) {
+            pit = remaining.erase(pit);
+          } else {
+            ++pit;
+          }
+        }
+      }
+    }
+
+    if (success) {
+      std::vector<std::uint32_t> achieved = hold;
+      achieved.insert(achieved.end(), gamma.begin(), gamma.end());
+      achieved = shrinkBase(oracle, effective_weight, std::move(achieved));
+      const double cost = costOf(effective_weight, achieved);
+      if (cost < best.cost ||
+          (cost == best.cost && achieved.size() < best.base.size())) {
+        best.base = achieved;
+        best.cost = cost;
+        base = achieved;
+        sortByWeightDesc(effective_weight, base);
+        offset = 0;  // re-challenge the now-most-expensive signals
+        continue;
+      }
+    }
+    offset += wlen;  // Step 4: slide the Watch window
+  }
+  return best;
+}
+
+}  // namespace eco

@@ -1,0 +1,33 @@
+#pragma once
+// Cost-aware base selection (Sec. 6.2).
+//
+// Starting from a feasible base B, the most expensive beta (= |Watch|)
+// signals are challenged each round: counterexamples over the Watch
+// signals are enumerated for every candidate (Sec. 6.2.1), and candidates
+// are greedily re-added by smallest cost-per-blocking (CPB, Eq. 13) until
+// the selection is feasible again. The best (cheapest) feasible base seen
+// across rounds is returned.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "eco/instance.h"
+#include "eco/rebase.h"
+
+namespace eco {
+
+struct BaseSelection {
+  std::vector<std::uint32_t> base;  ///< candidate indices, feasible
+  double cost = 0;
+};
+
+/// `effective_weight[i]` is the cost charged for candidate i (the raw
+/// weight, or 0 when the signal is already paid for by another target's
+/// patch). `initial` must be feasible.
+BaseSelection selectBase(RebaseOracle& oracle,
+                         std::span<const double> effective_weight,
+                         std::span<const std::uint32_t> initial,
+                         const EcoOptions& options);
+
+}  // namespace eco

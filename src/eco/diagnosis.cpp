@@ -1,0 +1,267 @@
+#include "eco/diagnosis.h"
+
+#include <algorithm>
+
+#include "aig/aig_ops.h"
+#include "base/check.h"
+#include "base/rng.h"
+#include "cnf/cnf.h"
+#include "eco/rectifiability.h"
+#include "sat/solver.h"
+#include "sim/sim.h"
+
+namespace eco {
+namespace {
+
+/// Collects up to `n` distinct error minterms of the miter via incremental
+/// SAT with blocking clauses. Returns one X assignment per pattern.
+std::vector<std::vector<bool>> collectCounterexamples(const Aig& faulty,
+                                                      const Aig& golden,
+                                                      std::uint32_t n) {
+  sat::Solver solver;
+  cnf::SolverSink sink(solver);
+
+  // Shared X variables; both cones encoded against them.
+  Aig miter;
+  VarMap mf, mg;
+  std::vector<Lit> x;
+  for (std::uint32_t i = 0; i < faulty.numPis(); ++i) {
+    x.push_back(miter.addPi(faulty.piName(i)));
+    mf[faulty.piVar(i)] = x.back();
+    mg[golden.piVar(i)] = x.back();
+  }
+  std::vector<Lit> fr, gr;
+  for (std::uint32_t j = 0; j < faulty.numPos(); ++j) fr.push_back(faulty.poDriver(j));
+  for (std::uint32_t j = 0; j < golden.numPos(); ++j) gr.push_back(golden.poDriver(j));
+  const std::vector<Lit> f_in_m = copyCones(faulty, fr, mf, miter);
+  const std::vector<Lit> g_in_m = copyCones(golden, gr, mg, miter);
+  Lit diff = kFalse;
+  for (std::size_t j = 0; j < f_in_m.size(); ++j) {
+    diff = miter.mkOr(diff, miter.mkXor(f_in_m[j], g_in_m[j]));
+  }
+
+  cnf::CnfMap map;
+  std::vector<sat::SLit> x_lits;
+  for (const Lit xi : x) {
+    const sat::SLit l = sat::SLit::make(solver.newVar(), false);
+    map[xi.var()] = l;
+    x_lits.push_back(l);
+  }
+  const sat::SLit d = cnf::encodeCone(miter, diff, map, sink);
+  solver.addClause({d});
+
+  std::vector<std::vector<bool>> patterns;
+  while (patterns.size() < n && solver.solve() == sat::Status::Sat) {
+    std::vector<bool> p(x_lits.size());
+    std::vector<sat::SLit> block;
+    for (std::size_t i = 0; i < x_lits.size(); ++i) {
+      p[i] = solver.modelValue(x_lits[i]) == sat::LBool::True;
+      block.push_back(p[i] ? ~x_lits[i] : x_lits[i]);
+    }
+    patterns.push_back(std::move(p));
+    solver.addClause(block);
+  }
+  return patterns;
+}
+
+}  // namespace
+
+EcoInstance cutAsTargets(const Aig& faulty, const Aig& golden,
+                         std::span<const std::uint32_t> vars) {
+  EcoInstance inst;
+  inst.name = "diagnosis-cut";
+  VarMap map;
+  for (std::uint32_t i = 0; i < faulty.numPis(); ++i) {
+    map[faulty.piVar(i)] = inst.faulty.addPi(faulty.piName(i));
+  }
+  inst.num_x = faulty.numPis();
+  for (std::size_t k = 0; k < vars.size(); ++k) {
+    ECO_CHECK(faulty.isAnd(vars[k]));
+    map[vars[k]] = inst.faulty.addPi("t" + std::to_string(k));
+  }
+  std::vector<Lit> roots;
+  for (std::uint32_t j = 0; j < faulty.numPos(); ++j) {
+    roots.push_back(faulty.poDriver(j));
+  }
+  const std::vector<Lit> mapped = copyCones(faulty, roots, map, inst.faulty);
+  for (std::uint32_t j = 0; j < faulty.numPos(); ++j) {
+    inst.faulty.addPo(mapped[j], faulty.poName(j));
+  }
+  // Preserve every named signal that is not downstream of the cut.
+  for (const auto& [name, lit] : faulty.namedSignals()) {
+    if (const auto it = map.find(lit.var()); it != map.end()) {
+      inst.faulty.setSignalName(it->second ^ lit.complemented(), name);
+    }
+  }
+  // Golden is shared by copy.
+  VarMap gmap;
+  for (std::uint32_t i = 0; i < golden.numPis(); ++i) {
+    gmap[golden.piVar(i)] = inst.golden.addPi(golden.piName(i));
+  }
+  std::vector<Lit> groots;
+  for (std::uint32_t j = 0; j < golden.numPos(); ++j) {
+    groots.push_back(golden.poDriver(j));
+  }
+  const std::vector<Lit> gm = copyCones(golden, groots, gmap, inst.golden);
+  for (std::uint32_t j = 0; j < golden.numPos(); ++j) {
+    inst.golden.addPo(gm[j], golden.poName(j));
+  }
+  return inst;
+}
+
+EcoInstance cutAsTarget(const Aig& faulty, const Aig& golden, std::uint32_t var) {
+  const std::uint32_t vars[1] = {var};
+  return cutAsTargets(faulty, golden, vars);
+}
+
+PairDiagnosisResult diagnoseDoubleFix(const Aig& faulty, const Aig& golden,
+                                      const DiagnosisOptions& options) {
+  PairDiagnosisResult result;
+  const DiagnosisResult single = diagnoseSingleFix(faulty, golden, options);
+  if (single.equivalent) {
+    result.equivalent = true;
+    return result;
+  }
+  // Pool: the top scorers (a pair member need not repair every failure
+  // alone, so anything with positive score qualifies).
+  std::vector<const DiagnosisCandidate*> pool;
+  for (const auto& c : single.candidates) {
+    if (pool.size() >= options.max_certify) break;
+    pool.push_back(&c);
+  }
+  std::uint32_t budget = options.max_certify * 2;
+  for (std::size_t i = 0; i < pool.size() && budget > 0; ++i) {
+    for (std::size_t j = i + 1; j < pool.size() && budget > 0; ++j) {
+      // Nested cuts are ill-formed when one node sits in the other's cone
+      // copy order; cutAsTargets handles any pair (boundary map), but a
+      // node inside another target's dead cone adds nothing — try anyway.
+      const std::uint32_t pair_vars[2] = {pool[i]->var, pool[j]->var};
+      const EcoInstance probe = cutAsTargets(faulty, golden, pair_vars);
+      --budget;
+      const RectifiabilityResult r =
+          checkRectifiability(probe, options.max_strategies);
+      if (r.status == Rectifiability::Rectifiable) {
+        result.found = true;
+        result.var_a = pool[i]->var;
+        result.var_b = pool[j]->var;
+        result.name_a = pool[i]->name;
+        result.name_b = pool[j]->name;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+DiagnosisResult diagnoseSingleFix(const Aig& faulty, const Aig& golden,
+                                  const DiagnosisOptions& options) {
+  ECO_CHECK(faulty.numPis() == golden.numPis());
+  ECO_CHECK(faulty.numPos() == golden.numPos());
+  DiagnosisResult result;
+
+  const std::vector<std::vector<bool>> cex =
+      collectCounterexamples(faulty, golden, options.num_cex);
+  if (cex.empty()) {
+    result.equivalent = true;
+    return result;
+  }
+
+  // Pack the counterexamples into word-parallel patterns.
+  const std::uint32_t words = (static_cast<std::uint32_t>(cex.size()) + 63) / 64;
+  sim::PatternSet patterns(faulty.numPis(), words);
+  for (std::size_t p = 0; p < cex.size(); ++p) {
+    for (std::uint32_t i = 0; i < faulty.numPis(); ++i) {
+      patterns.setBit(i, static_cast<std::uint32_t>(p), cex[p][i]);
+    }
+  }
+  const std::uint64_t last_mask =
+      cex.size() % 64 == 0 ? ~std::uint64_t{0}
+                           : ((std::uint64_t{1} << (cex.size() % 64)) - 1);
+
+  const sim::PatternSet base_values = sim::simulateAll(faulty, patterns);
+  const sim::PatternSet golden_values = sim::simulateAll(golden, patterns);
+
+  // Point-flip screening: recompute the faulty circuit with signal w's
+  // value complemented on every pattern; count patterns where all outputs
+  // now agree with golden.
+  std::vector<std::uint64_t> flip_values(faulty.numNodes() * words, 0);
+  const auto flipScore = [&](std::uint32_t w) -> double {
+    // values with override at w (the constant row stays all-zero)
+    for (std::uint32_t v = 1; v < faulty.numNodes(); ++v) {
+      auto dst = std::span<std::uint64_t>(flip_values.data() + v * words, words);
+      const auto src = base_values.of(v);
+      if (v == w) {
+        for (std::uint32_t k = 0; k < words; ++k) dst[k] = ~src[k];
+        continue;
+      }
+      if (faulty.isPi(v) || v < w) {
+        for (std::uint32_t k = 0; k < words; ++k) dst[k] = src[k];
+        continue;
+      }
+      const Lit f0 = faulty.fanin0(v);
+      const Lit f1 = faulty.fanin1(v);
+      const std::uint64_t* a = flip_values.data() + f0.var() * words;
+      const std::uint64_t* b = flip_values.data() + f1.var() * words;
+      const std::uint64_t ma = f0.complemented() ? ~std::uint64_t{0} : 0;
+      const std::uint64_t mb = f1.complemented() ? ~std::uint64_t{0} : 0;
+      for (std::uint32_t k = 0; k < words; ++k) dst[k] = (a[k] ^ ma) & (b[k] ^ mb);
+    }
+    std::uint32_t fixed = 0;
+    for (std::uint32_t k = 0; k < words; ++k) {
+      std::uint64_t ok = ~std::uint64_t{0};
+      for (std::uint32_t j = 0; j < faulty.numPos(); ++j) {
+        const Lit fd = faulty.poDriver(j);
+        const Lit gd = golden.poDriver(j);
+        const std::uint64_t fv =
+            flip_values[fd.var() * words + k] ^
+            (fd.complemented() ? ~std::uint64_t{0} : 0);
+        std::uint64_t gv = golden_values.of(gd.var())[k];
+        if (gd.complemented()) gv = ~gv;
+        ok &= ~(fv ^ gv);
+      }
+      if (k + 1 == words) ok &= last_mask;
+      fixed += static_cast<std::uint32_t>(__builtin_popcountll(ok));
+    }
+    return static_cast<double>(fixed) / static_cast<double>(cex.size());
+  };
+
+  for (std::uint32_t v = 1; v < faulty.numNodes(); ++v) {
+    if (!faulty.isAnd(v)) continue;
+    const double score = flipScore(v);
+    if (score <= 0) continue;
+    DiagnosisCandidate c;
+    c.var = v;
+    c.score = score;
+    for (const auto& [name, lit] : faulty.namedSignals()) {
+      if (lit.var() == v && !lit.complemented()) {
+        c.name = name;
+        break;
+      }
+    }
+    result.candidates.push_back(std::move(c));
+  }
+  std::sort(result.candidates.begin(), result.candidates.end(),
+            [](const DiagnosisCandidate& a, const DiagnosisCandidate& b) {
+              return a.score != b.score ? a.score > b.score : a.var < b.var;
+            });
+
+  // Exact certification of the top scorers (a perfect screening score is
+  // necessary for a single-fix target, but not sufficient).
+  std::uint32_t certified = 0;
+  for (DiagnosisCandidate& c : result.candidates) {
+    if (certified >= options.max_certify) break;
+    if (c.score < 1.0) break;  // cannot repair all observed failures
+    const EcoInstance probe = cutAsTarget(faulty, golden, c.var);
+    const RectifiabilityResult r =
+        checkRectifiability(probe, options.max_strategies);
+    c.certified = r.status == Rectifiability::Rectifiable;
+    ++certified;
+  }
+  std::stable_sort(result.candidates.begin(), result.candidates.end(),
+                   [](const DiagnosisCandidate& a, const DiagnosisCandidate& b) {
+                     return a.certified > b.certified;
+                   });
+  return result;
+}
+
+}  // namespace eco

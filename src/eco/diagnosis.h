@@ -1,0 +1,74 @@
+#pragma once
+// Rectification-target diagnosis — the first phase of the ECO computation
+// (Sec. 1: "First, identify target signals for rectification"), which the
+// paper and the contest assume already done. This module closes the loop:
+// given an ordinary faulty netlist (no pre-cut targets) and the golden
+// netlist, it proposes internal signals whose re-synthesis can rectify the
+// design.
+//
+// Two stages:
+//  1. Simulation screening: counterexample patterns are collected from the
+//     miter; a signal scores by the fraction of failing patterns that a
+//     point-flip of the signal repairs (all outputs match golden). Only
+//     signals repairing every observed failure can be single-fix targets.
+//  2. Exact certification: top-scoring signals are cut to a floating
+//     pseudo-PI and checked with the Eq. (2) rectifiability oracle.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "aig/aig.h"
+#include "eco/instance.h"
+
+namespace eco {
+
+struct DiagnosisOptions {
+  std::uint32_t num_cex = 48;       ///< counterexample patterns to collect
+  std::uint32_t max_certify = 16;   ///< signals to certify exactly
+  std::uint32_t max_strategies = 64;  ///< rectifiability CEGAR bound
+  std::uint64_t seed = 0xD1A6ULL;
+};
+
+struct DiagnosisCandidate {
+  std::string name;  ///< faulty netlist signal name (empty if unnamed)
+  std::uint32_t var = 0;  ///< faulty AIG variable
+  double score = 0;  ///< fraction of failing patterns repaired by a flip
+  bool certified = false;  ///< proven rectifiable as a single target
+};
+
+struct DiagnosisResult {
+  /// True when the circuits are already equivalent (nothing to fix).
+  bool equivalent = false;
+  /// Ranked candidates: certified ones first, then by descending score.
+  std::vector<DiagnosisCandidate> candidates;
+};
+
+/// Diagnoses single-fix rectification targets. `faulty` and `golden` are
+/// over the same X inputs (no floating targets).
+DiagnosisResult diagnoseSingleFix(const Aig& faulty, const Aig& golden,
+                                  const DiagnosisOptions& options = {});
+
+/// Builds the ECO instance that cuts the given faulty AND nodes as targets
+/// "t0", "t1", ... (weights are left to the caller).
+EcoInstance cutAsTargets(const Aig& faulty, const Aig& golden,
+                         std::span<const std::uint32_t> vars);
+
+/// Single-target convenience wrapper.
+EcoInstance cutAsTarget(const Aig& faulty, const Aig& golden, std::uint32_t var);
+
+struct PairDiagnosisResult {
+  bool equivalent = false;
+  bool found = false;
+  std::uint32_t var_a = 0, var_b = 0;  ///< certified rectification pair
+  std::string name_a, name_b;
+};
+
+/// Escalation for multi-error designs: when no single signal certifies,
+/// search pairs among the top point-flip scorers, certifying each pair
+/// with the Eq. (2) oracle. Returns the first certified pair.
+PairDiagnosisResult diagnoseDoubleFix(const Aig& faulty, const Aig& golden,
+                                      const DiagnosisOptions& options = {});
+
+}  // namespace eco

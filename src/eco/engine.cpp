@@ -1,0 +1,296 @@
+#include "eco/engine.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "aig/minimize.h"
+#include "base/check.h"
+#include "base/timer.h"
+#include "eco/candidates.h"
+#include "eco/clustering.h"
+#include "eco/costopt.h"
+#include "eco/localization.h"
+#include "eco/patchgen.h"
+#include "eco/rebase.h"
+#include "eco/relations.h"
+#include "eco/verify.h"
+#include "fraig/fraig.h"
+
+namespace eco {
+namespace {
+
+/// Merges the per-target patches into one patch network with deduplicated
+/// inputs and fills the result's base/cost/size fields.
+void assembleResult(const EcoInstance& instance,
+                    std::span<const TargetPatch> patches, PatchResult& result) {
+  result.patch = Aig();
+  result.base.clear();
+  std::unordered_map<std::string, Lit> pi_of_name;
+
+  // Deterministic target order.
+  std::vector<const TargetPatch*> ordered;
+  for (const TargetPatch& p : patches) ordered.push_back(&p);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const TargetPatch* a, const TargetPatch* b) {
+              return a->target < b->target;
+            });
+
+  for (const TargetPatch* p : ordered) {
+    VarMap map;
+    for (std::uint32_t i = 0; i < p->fn.numPis(); ++i) {
+      const Candidate& in = p->inputs[i];
+      auto it = pi_of_name.find(in.name);
+      if (it == pi_of_name.end()) {
+        const Lit pi = result.patch.addPi(in.name);
+        it = pi_of_name.emplace(in.name, pi).first;
+        BaseRef ref;
+        ref.name = in.name;
+        ref.lit = in.f_lit;
+        ref.weight = in.weight;
+        result.base.push_back(std::move(ref));
+      }
+      map[p->fn.piVar(i)] = it->second;
+    }
+    const std::vector<Lit> roots{p->fn.poDriver(0)};
+    const Lit out = copyCones(p->fn, roots, map, result.patch)[0];
+    result.patch.addPo(out, instance.targetName(p->target));
+  }
+
+  result.cost = 0;
+  for (const BaseRef& b : result.base) result.cost += b.weight;
+  result.size = result.patch.numAnds();
+}
+
+}  // namespace
+
+PatchResult EcoEngine::run(const EcoInstance& instance) const {
+  Timer timer;
+  PatchResult result;
+  const std::uint32_t alpha = instance.numTargets();
+  if (alpha == 0) {
+    result.success = false;
+    result.message = "instance has no targets";
+    return result;
+  }
+
+  Workspace ws = buildWorkspace(instance);
+  const std::vector<TargetCluster> clusters = clusterTargets(instance);
+  result.num_clusters = static_cast<std::uint32_t>(clusters.size());
+
+  // Outputs no target can influence must already match the golden circuit.
+  {
+    std::vector<bool> touched(instance.faulty.numPos(), false);
+    for (const TargetCluster& c : clusters) {
+      for (const std::uint32_t j : c.outputs) touched[j] = true;
+    }
+    std::vector<std::uint32_t> untouched;
+    for (std::uint32_t j = 0; j < touched.size(); ++j) {
+      if (!touched[j]) untouched.push_back(j);
+    }
+    if (!untouched.empty()) {
+      VerifyOutcome v = verifyUntouchedOutputs(ws, untouched);
+      if (!v.equivalent) {
+        result.success = false;
+        result.message =
+            "unrectifiable: output " + std::to_string(v.failing_output) +
+            " differs from golden but no target reaches it";
+        result.counterexample = std::move(v.cex_inputs);
+        result.seconds = timer.seconds();
+        return result;
+      }
+    }
+  }
+
+  // FRAIG stage (only needed when localization wants shared signals).
+  std::optional<fraig::EquivClasses> classes;
+  if (options_.use_localization) {
+    std::vector<Lit> roots = ws.f_roots;
+    roots.insert(roots.end(), ws.g_roots.begin(), ws.g_roots.end());
+    fraig::Options fo;
+    fo.seed = options_.seed;
+    classes = fraig::computeEquivClasses(ws.w, roots, fo);
+  }
+
+  std::vector<Candidate> candidates = collectCandidates(instance, ws);
+  if (options_.pi_candidates_only) {
+    candidates.resize(std::min<std::size_t>(candidates.size(), instance.num_x));
+  }
+
+  // Localization + initial multi-fix patch generation, per cluster.
+  std::vector<TargetPatch> patches(alpha);
+  for (const TargetCluster& cluster : clusters) {
+    LocalNetwork net =
+        buildLocalNetwork(instance, ws, cluster, candidates,
+                          options_.use_localization ? &*classes : nullptr);
+    result.cut_size += static_cast<std::uint32_t>(net.bases.size());
+    ClusterPatchResult cp = dependentPatchGen(cluster, net, options_);
+    result.itp_failures += cp.itp_failures;
+    for (std::size_t i = 0; i < cluster.targets.size(); ++i) {
+      patches[cluster.targets[i]] = std::move(cp.patches[i]);
+    }
+  }
+  if (options_.minimize_patches) {
+    MinimizeOptions mo;
+    mo.seed = options_.seed;
+    for (TargetPatch& p : patches) {
+      p.fn = minimizeAig(p.fn, mo);
+      pruneUnusedInputs(p);
+    }
+  }
+
+  // Soundness gate: the initial patch must verify. The generation procedure
+  // is complete for this formulation, so failure here means the instance is
+  // not rectifiable through the given targets.
+  {
+    VerifyOutcome v = verifyPatches(ws, patches);
+    if (!v.equivalent) {
+      result.success = false;
+      result.message = "unrectifiable: initial patch fails verification at output " +
+                       std::to_string(v.failing_output);
+      result.counterexample = std::move(v.cex_inputs);
+      result.seconds = timer.seconds();
+      return result;
+    }
+  }
+  assembleResult(instance, patches, result);
+  result.initial_cost = result.cost;
+  result.initial_size = result.size;
+
+  // Cost optimization (Sec. 6): per-target rebasing with Watch/Hold/CPB
+  // base selection, holding the other targets' patches fixed.
+  if (options_.use_cost_opt) {
+    // Cheapest-first candidate cap; per-target bases are appended below.
+    std::vector<std::uint32_t> cheap_order(candidates.size());
+    for (std::uint32_t i = 0; i < candidates.size(); ++i) cheap_order[i] = i;
+    std::sort(cheap_order.begin(), cheap_order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return candidates[a].weight != candidates[b].weight
+                           ? candidates[a].weight < candidates[b].weight
+                           : a < b;
+              });
+    cheap_order.resize(
+        std::min<std::size_t>(cheap_order.size(), options_.max_candidates));
+
+    std::unordered_map<std::string, std::uint32_t> candidate_by_name;
+    for (std::uint32_t i = 0; i < candidates.size(); ++i) {
+      candidate_by_name.emplace(candidates[i].name, i);
+    }
+
+    // Cluster lookup per target.
+    std::vector<const TargetCluster*> cluster_of(alpha, nullptr);
+    for (const TargetCluster& c : clusters) {
+      for (const std::uint32_t t : c.targets) cluster_of[t] = &c;
+    }
+
+    for (std::uint32_t round = 0; round < options_.opt_rounds; ++round) {
+      bool improved = false;
+      for (std::uint32_t k = 0; k < alpha; ++k) {
+        const TargetCluster& cluster = *cluster_of[k];
+        if (cluster.outputs.empty()) continue;  // patch is trivially const
+
+        // Candidate universe for this target: cheap prefix + current base.
+        std::vector<std::uint32_t> universe = cheap_order;
+        std::unordered_set<std::uint32_t> in_universe(universe.begin(),
+                                                      universe.end());
+        std::vector<std::uint32_t> initial;
+        bool base_ok = true;
+        for (const Candidate& in : patches[k].inputs) {
+          const auto it = candidate_by_name.find(in.name);
+          if (it == candidate_by_name.end()) {
+            base_ok = false;
+            break;
+          }
+          if (in_universe.insert(it->second).second) {
+            universe.push_back(it->second);
+          }
+        }
+        if (!base_ok) continue;
+        std::vector<Candidate> cand_k;
+        std::unordered_map<std::uint32_t, std::uint32_t> local_of_global;
+        for (const std::uint32_t g : universe) {
+          local_of_global[g] = static_cast<std::uint32_t>(cand_k.size());
+          cand_k.push_back(candidates[g]);
+        }
+        for (const Candidate& in : patches[k].inputs) {
+          initial.push_back(local_of_global.at(candidate_by_name.at(in.name)));
+        }
+
+        // Signals other targets already pay for are free here.
+        std::unordered_set<std::string> shared_names;
+        if (options_.account_shared_bases) {
+          for (std::uint32_t j = 0; j < alpha; ++j) {
+            if (j == k) continue;
+            for (const Candidate& in : patches[j].inputs) {
+              shared_names.insert(in.name);
+            }
+          }
+        }
+        std::vector<double> eff_weight(cand_k.size());
+        for (std::size_t i = 0; i < cand_k.size(); ++i) {
+          eff_weight[i] =
+              shared_names.count(cand_k[i].name) != 0 ? 0.0 : cand_k[i].weight;
+        }
+
+        // On/off-sets of t_k with every other target's patch substituted.
+        VarMap repl;
+        for (std::uint32_t j = 0; j < alpha; ++j) {
+          if (j == k) continue;
+          repl[ws.t_pis[j].var()] = composePatchInWorkspace(ws, patches[j]);
+        }
+        std::vector<Lit> f_fixed, g_fixed;
+        for (const std::uint32_t j : cluster.outputs) {
+          f_fixed.push_back(ws.f_roots[j]);
+          g_fixed.push_back(ws.g_roots[j]);
+        }
+        f_fixed = substitute(ws.w, f_fixed, repl);
+        const OnOffSets oo = buildOnOff(ws.w, f_fixed, g_fixed, ws.t_pis[k]);
+
+        RebaseOracle oracle(ws, oo.on, oo.off, cand_k);
+        if (!oracle.feasible(initial)) continue;  // defensive
+
+        const BaseSelection sel =
+            selectBase(oracle, eff_weight, initial, options_);
+
+        double old_cost = 0;
+        for (const std::uint32_t i : initial) old_cost += eff_weight[i];
+        const std::uint32_t old_size = patches[k].fn.numAnds();
+        if (sel.cost > old_cost) continue;
+
+        auto synth = synthesizeOverBase(ws, oo.on, oo.off, cand_k, sel.base,
+                                        options_.itp_conflict_budget);
+        if (!synth) continue;
+        const std::uint32_t new_size = synth->numAnds();
+        if (sel.cost == old_cost && new_size >= old_size) continue;
+
+        TargetPatch np;
+        np.target = k;
+        np.fn = std::move(*synth);
+        for (const std::uint32_t i : sel.base) np.inputs.push_back(cand_k[i]);
+        if (options_.minimize_patches) {
+          MinimizeOptions mo;
+          mo.seed = options_.seed;
+          np.fn = minimizeAig(np.fn, mo);
+        }
+        pruneUnusedInputs(np);
+        patches[k] = std::move(np);
+        improved = true;
+      }
+      if (!improved) break;
+    }
+  }
+
+  // Final verification (defense in depth for the optimization stage).
+  {
+    const VerifyOutcome v = verifyPatches(ws, patches);
+    ECO_CHECK_MSG(v.equivalent, "optimized patch failed verification");
+  }
+  assembleResult(instance, patches, result);
+  result.success = true;
+  result.message = "ok";
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace eco

@@ -1,0 +1,31 @@
+#pragma once
+// The complete ECO flow (Fig. 1): FRAIG equivalence classes, target
+// clustering, localization, multi-fix patch generation, SAT verification,
+// and cost optimization.
+//
+// This is the library's primary entry point:
+//
+//   eco::EcoInstance inst = ...;          // parse or generate
+//   eco::EcoEngine engine;                // default EcoOptions
+//   eco::PatchResult r = engine.run(inst);
+//   if (r.success) { use r.patch / r.base / r.cost / r.size; }
+
+#include "eco/instance.h"
+
+namespace eco {
+
+class EcoEngine {
+ public:
+  explicit EcoEngine(EcoOptions options = {}) : options_(options) {}
+
+  /// Runs the full flow. The returned patch is verified: on success the
+  /// patched faulty circuit is SAT-proven equivalent to the golden one.
+  PatchResult run(const EcoInstance& instance) const;
+
+  const EcoOptions& options() const { return options_; }
+
+ private:
+  EcoOptions options_;
+};
+
+}  // namespace eco

@@ -1,0 +1,112 @@
+#pragma once
+// Problem and result types for the multi-fix ECO engine.
+//
+// An instance follows the ICCAD 2017 contest formulation (Sec. 2.2): the
+// faulty circuit F(X, T) has its pre-specified target signals T rewritten
+// as floating pseudo-PIs; the golden circuit G(X) is the reference; every
+// usable base signal of F carries a weight. A patch assigns each target a
+// function over base signals of F such that F|_{T=P} == G.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.h"
+
+namespace eco {
+
+struct EcoInstance {
+  std::string name;
+
+  /// Faulty circuit. PIs are the X inputs followed by the target
+  /// pseudo-PIs; `num_x` X inputs come first.
+  Aig faulty;
+  std::uint32_t num_x = 0;
+
+  /// Golden circuit over the same X inputs (same count and order) with the
+  /// same number of POs in the same order.
+  Aig golden;
+
+  /// Weight of each base-candidate signal of F, keyed by signal name
+  /// (PI names and named internal signals). Signals without an entry get
+  /// `default_weight`.
+  std::unordered_map<std::string, double> weights;
+  double default_weight = 1.0;
+
+  std::uint32_t numTargets() const { return faulty.numPis() - num_x; }
+  /// PI index (in `faulty`) of target k.
+  std::uint32_t targetPi(std::uint32_t k) const { return num_x + k; }
+  const std::string& targetName(std::uint32_t k) const {
+    return faulty.piName(targetPi(k));
+  }
+  double weightOf(const std::string& name) const {
+    const auto it = weights.find(name);
+    return it == weights.end() ? default_weight : it->second;
+  }
+};
+
+/// One patch input: an existing signal of F, optionally complemented
+/// (the inversion is realized inside the patch and counted in its size).
+struct BaseRef {
+  std::string name;   ///< F signal name (PI name or internal signal name)
+  Lit lit;            ///< literal in the *faulty* AIG
+  double weight = 0;  ///< cost of using this signal
+  bool inverted = false;
+};
+
+struct PatchResult {
+  bool success = false;
+  std::string message;
+  /// On unrectifiability: an X assignment under which no target valuation
+  /// (or no generated patch) reproduces the golden outputs.
+  std::vector<bool> counterexample;
+
+  /// Patch network: PI i corresponds to base[i]; PO k is the patch
+  /// function of target k (named after the target).
+  Aig patch;
+  std::vector<BaseRef> base;
+
+  double cost = 0;         ///< sum of base weights (contest cost metric)
+  std::uint32_t size = 0;  ///< AND-gate count of the patch network
+  double seconds = 0;      ///< wall-clock of the engine run
+
+  // Stage statistics (for benches and EXPERIMENTS.md).
+  std::uint32_t num_clusters = 0;
+  std::uint32_t cut_size = 0;
+  std::uint32_t initial_size = 0;
+  double initial_cost = 0;
+  std::uint32_t itp_failures = 0;  ///< Sec. 4.3 interpolation fallbacks
+  std::uint64_t sat_conflicts = 0;
+};
+
+struct EcoOptions {
+  bool use_localization = true;  ///< Sec. 5 cut-based re-expression
+  bool use_cost_opt = true;      ///< Sec. 6 rebase + base selection
+  /// Try interpolation for the initial patch (may fail on multi-output
+  /// conflicts, Sec. 4.3); fall back to the on-set function.
+  bool try_interpolation_first = false;
+  std::uint32_t watch_size = 5;  ///< beta, |Watch| (paper: 5)
+  std::uint32_t opt_rounds = 2;  ///< optimization iterations over all targets
+  std::uint32_t max_candidates = 160;  ///< cap on |B'| per rebase
+  /// Cap on candidates whose counterexamples are enumerated per Watch round
+  /// (Sec. 6.2 Step 2); bounds the dominant SAT cost of base selection.
+  std::uint32_t max_step2_candidates = 48;
+  std::int64_t itp_conflict_budget = 200000;
+  /// When the working cones of Algorithm 1 exceed this many AND nodes, a
+  /// FRAIG reduction pass (compressCones) collapses proven-equivalent
+  /// structure; damps the growth of iterated on-set substitution.
+  std::uint32_t compress_threshold = 3000;
+  /// Run AIG minimization (flatten/rebalance + FRAIG sweep) on every patch
+  /// function — the contest's secondary metric counts patch gates.
+  bool minimize_patches = true;
+  std::uint64_t seed = 0xC0FFEEULL;
+  /// Restrict base candidates to the X primary inputs (the PI-support
+  /// baseline proxy; see DESIGN.md).
+  bool pi_candidates_only = false;
+  /// Charge zero for a base signal another target's patch already pays for
+  /// (the contest cost counts each distinct base signal once).
+  bool account_shared_bases = true;
+};
+
+}  // namespace eco

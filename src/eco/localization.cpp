@@ -1,0 +1,160 @@
+#include "eco/localization.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/check.h"
+
+namespace eco {
+namespace {
+
+/// Identity normalization when localization is disabled.
+Lit normalizeOrSelf(const fraig::EquivClasses* classes, std::uint32_t var) {
+  const Lit l = Lit::fromVar(var, false);
+  return classes ? classes->normalize(l) : l;
+}
+
+}  // namespace
+
+LocalNetwork buildLocalNetwork(const EcoInstance& instance, const Workspace& ws,
+                               const TargetCluster& cluster,
+                               std::span<const Candidate> candidates,
+                               const fraig::EquivClasses* classes) {
+  const Aig& w = ws.w;
+
+  // Which workspace PI vars are targets, and their cluster-local index.
+  std::unordered_map<std::uint32_t, std::uint32_t> cluster_t_index;
+  for (std::uint32_t i = 0; i < cluster.targets.size(); ++i) {
+    cluster_t_index[ws.t_pis[cluster.targets[i]].var()] = i;
+  }
+  std::unordered_set<std::uint32_t> all_t_vars;
+  for (const Lit t : ws.t_pis) all_t_vars.insert(t.var());
+
+  // Per-class representative: is the class shared between F and G, and the
+  // cheapest implementing candidate.
+  struct Impl {
+    int candidate = -1;
+    bool inverted = false;  // candidate function == rep function XOR inverted
+  };
+  std::unordered_map<std::uint32_t, Impl> impl_of_rep;
+  std::unordered_map<std::uint32_t, std::uint8_t> side_of_rep;  // bit0 = F, bit1 = G
+  if (classes) {
+    for (std::uint32_t var = 1; var < w.numNodes(); ++var) {
+      const Lit nl = classes->normalize(Lit::fromVar(var, false));
+      std::uint8_t& side = side_of_rep[nl.var()];
+      if (var < ws.from_faulty.size() && ws.from_faulty[var]) side |= 1;
+      if (var < ws.from_golden.size() && ws.from_golden[var]) side |= 2;
+    }
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Lit nl = classes ? classes->normalize(candidates[i].w_fn)
+                           : candidates[i].w_fn;
+    Impl& impl = impl_of_rep[nl.var()];
+    if (impl.candidate < 0 ||
+        candidates[i].weight < candidates[impl.candidate].weight) {
+      impl.candidate = static_cast<int>(i);
+      impl.inverted = nl.complemented();
+    }
+  }
+
+  // Stop predicate for the cut-frontier traversals (Algorithm 2): X inputs,
+  // target pseudo-PIs, and implementable shared equivalence classes.
+  const auto isStop = [&](std::uint32_t var, bool golden_side) -> bool {
+    if (all_t_vars.count(var) != 0) return true;
+    if (w.isPi(var)) return true;  // X input
+    if (!classes) return false;
+    const Lit nl = classes->normalize(Lit::fromVar(var, false));
+    if (nl.var() == 0) return true;  // stuck-at constant
+    const auto side = side_of_rep.find(nl.var());
+    const bool shared =
+        side != side_of_rep.end() && (side->second & 1) && (side->second & 2);
+    if (!shared && golden_side) return false;
+    if (!shared) return false;  // faulty side also requires a shared class
+    return impl_of_rep.count(nl.var()) != 0 &&
+           impl_of_rep.at(nl.var()).candidate >= 0;
+  };
+
+  // CutFrontier: reverse-topological DFS collecting the first stop signal
+  // along every path.
+  const auto cutFrontier = [&](std::span<const Lit> roots, bool golden_side,
+                               std::unordered_set<std::uint32_t>& frontier) {
+    std::vector<std::uint32_t> stack;
+    std::unordered_set<std::uint32_t> seen;
+    for (const Lit r : roots) stack.push_back(r.var());
+    while (!stack.empty()) {
+      const std::uint32_t var = stack.back();
+      stack.pop_back();
+      if (var == 0 || seen.count(var) != 0) continue;
+      seen.insert(var);
+      if (isStop(var, golden_side)) {
+        frontier.insert(var);
+        continue;
+      }
+      ECO_CHECK_MSG(w.isAnd(var), "cut traversal reached an unexpected leaf");
+      stack.push_back(w.fanin0(var).var());
+      stack.push_back(w.fanin1(var).var());
+    }
+  };
+
+  std::vector<Lit> f_roots, g_roots;
+  for (const std::uint32_t j : cluster.outputs) {
+    f_roots.push_back(ws.f_roots[j]);
+    g_roots.push_back(ws.g_roots[j]);
+  }
+
+  std::unordered_set<std::uint32_t> frontier;
+  cutFrontier(f_roots, /*golden_side=*/false, frontier);
+  cutFrontier(g_roots, /*golden_side=*/true, frontier);
+
+  // Build the localized network: one PI per used class representative plus
+  // one PI per cluster target.
+  LocalNetwork net;
+  net.t_pis.resize(cluster.targets.size());
+  for (std::uint32_t i = 0; i < cluster.targets.size(); ++i) {
+    net.t_pis[i] =
+        net.v.addPi(instance.targetName(cluster.targets[i]));
+  }
+
+  std::unordered_map<std::uint32_t, Lit> pi_of_rep;  // rep var -> v PI literal
+  VarMap boundary;
+  // Deterministic iteration: sort the frontier.
+  std::vector<std::uint32_t> frontier_sorted(frontier.begin(), frontier.end());
+  std::sort(frontier_sorted.begin(), frontier_sorted.end());
+  for (const std::uint32_t u : frontier_sorted) {
+    if (const auto t = cluster_t_index.find(u); t != cluster_t_index.end()) {
+      boundary[u] = net.t_pis[t->second];
+      continue;
+    }
+    ECO_CHECK_MSG(all_t_vars.count(u) == 0,
+                  "cluster cone reached a foreign target");
+    const Lit nl = normalizeOrSelf(classes, u);
+    if (nl.var() == 0) {
+      boundary[u] = kFalse ^ nl.complemented();
+      continue;
+    }
+    Lit pi;
+    if (const auto it = pi_of_rep.find(nl.var()); it != pi_of_rep.end()) {
+      pi = it->second;
+    } else {
+      const auto impl_it = impl_of_rep.find(nl.var());
+      ECO_CHECK_MSG(impl_it != impl_of_rep.end() && impl_it->second.candidate >= 0,
+                    "frontier class without an implementing signal");
+      const Candidate& cand = candidates[impl_it->second.candidate];
+      pi = net.v.addPi(cand.name);
+      pi_of_rep.emplace(nl.var(), pi);
+      CutBase base;
+      base.v_pi = pi;
+      base.signal = cand;
+      base.inverted = impl_it->second.inverted;
+      net.bases.push_back(std::move(base));
+    }
+    boundary[u] = pi ^ nl.complemented();
+  }
+
+  net.f_roots = copyCones(w, f_roots, boundary, net.v);
+  net.g_roots = copyCones(w, g_roots, boundary, net.v);
+  return net;
+}
+
+}  // namespace eco

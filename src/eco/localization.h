@@ -1,0 +1,57 @@
+#pragma once
+// Localization for initial patch simplification (Sec. 5, Algorithm 2,
+// Theorem 2).
+//
+// Using the FRAIG equivalence classes, signals of the faulty circuit proven
+// equivalent to signals of the golden circuit form trusted cut points. A
+// reverse-topological traversal from the primary outputs collects, along
+// every path, the first signal that is an X input, a target pseudo-PI, or
+// such a shared equivalent signal; the union of the faulty-side and
+// golden-side cut frontiers is the cut C_d. Theorem 2 lets the on/off-sets
+// be re-expressed as functions of (C_d, T), so initial patches may read
+// cheap intermediate signals instead of primary inputs.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "eco/candidates.h"
+#include "eco/clustering.h"
+#include "eco/instance.h"
+#include "eco/relations.h"
+#include "fraig/fraig.h"
+
+namespace eco {
+
+/// A cut point usable as a patch input.
+struct CutBase {
+  Lit v_pi;          ///< PI literal in the localized network
+  Candidate signal;  ///< implementing faulty-circuit signal
+  /// Relation between the localized PI and the raw signal: PI function ==
+  /// signal function XOR `inverted` (absorbed into the patch cone when the
+  /// patch is extracted).
+  bool inverted = false;
+};
+
+/// The cluster's cones re-expressed over the cut (Theorem 2).
+struct LocalNetwork {
+  Aig v;
+  std::vector<CutBase> bases;  ///< non-target PIs of `v`, in PI order
+  std::vector<Lit> t_pis;      ///< PI literal in `v` of each *cluster* target
+  std::vector<Lit> f_roots;    ///< cluster outputs of F over (cut, T)
+  std::vector<Lit> g_roots;    ///< cluster outputs of G over cut
+};
+
+/// Builds the localized network of one cluster.
+///
+/// With `classes == nullptr` localization is disabled: the cut degenerates
+/// to the X inputs (the no-localization ablation and the PI-based
+/// baseline). `candidates` must come from collectCandidates on the same
+/// workspace.
+LocalNetwork buildLocalNetwork(const EcoInstance& instance, const Workspace& ws,
+                               const TargetCluster& cluster,
+                               std::span<const Candidate> candidates,
+                               const fraig::EquivClasses* classes);
+
+}  // namespace eco

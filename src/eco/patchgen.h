@@ -1,0 +1,53 @@
+#pragma once
+// Multi-fix ECO patch generation (Sec. 4, Algorithm 1).
+//
+// Phase 1 derives target-variable dependent patches p'_k(C_d, T_k) one
+// target at a time from the on/off-sets of Eqs. (7)/(8) (re-expressed over
+// the localization cut, Theorem 2), substituting each patch into the
+// faulty cones before handling the next target. Phase 2 back-substitutes
+// p'_alpha, ..., p'_1 to eliminate the target-variable dependencies.
+//
+// SynthesizePatch first tries Craig interpolation of (on, off) when
+// requested; when the pair is satisfiable — the multi-output conflict of
+// Sec. 4.3, possible even for rectifiable instances — it falls back to
+// taking the on-set function directly.
+
+#include <cstdint>
+#include <vector>
+
+#include "eco/clustering.h"
+#include "eco/instance.h"
+#include "eco/localization.h"
+
+namespace eco {
+
+/// A finished patch for one target: a standalone single-output AIG whose
+/// PIs are raw faulty-circuit signals (any needed inversion is absorbed
+/// into the cone).
+struct TargetPatch {
+  std::uint32_t target = 0;  ///< global target index
+  Aig fn;
+  std::vector<Candidate> inputs;  ///< aligned with fn's PIs
+};
+
+struct ClusterPatchResult {
+  std::vector<TargetPatch> patches;  ///< aligned with cluster.targets
+  std::uint32_t itp_failures = 0;    ///< Sec. 4.3 fallbacks taken
+  std::uint32_t itp_successes = 0;
+};
+
+/// Runs Algorithm 1 + phase 2 on one localized cluster network.
+ClusterPatchResult dependentPatchGen(const TargetCluster& cluster,
+                                     LocalNetwork& net, const EcoOptions& options);
+
+/// Extracts a standalone patch for `root` (a literal of net.v whose support
+/// must lie within the base PIs). Inversions between cut PIs and their
+/// implementing signals are absorbed here.
+TargetPatch extractPatch(const LocalNetwork& net, Lit root,
+                         std::uint32_t global_target);
+
+/// Drops patch PIs outside the function's true structural support (e.g.
+/// inputs an interpolant ended up not using), so they are not charged.
+void pruneUnusedInputs(TargetPatch& patch);
+
+}  // namespace eco

@@ -1,0 +1,72 @@
+#pragma once
+// Rebasing with functional dependency (Sec. 6.1, Eq. 12, Fig. 3).
+//
+// The oracle holds two CNF copies of the patch constraint: the A copy
+// asserts the on-set (mu = 1) over inputs X, the B copy asserts the off-set
+// (mu* = 0) over an independent input copy X*, and every base candidate
+// b_i is encoded in both copies with a selection variable s_i adding
+//   s_i -> (b_i == b_i*).
+// A candidate base set is feasible — some function over it implements the
+// patch — iff the formula is UNSAT under the unit assumptions selecting it.
+// Counterexample enumeration over the Watch signals (Sec. 6.2.1) uses
+// control variables to block witnessed on-side valuations.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "eco/candidates.h"
+#include "sat/solver.h"
+
+namespace eco {
+
+class RebaseOracle {
+ public:
+  /// `on_w`/`off_w` must be functions of the workspace X inputs only;
+  /// candidate functions likewise.
+  RebaseOracle(const Workspace& ws, Lit on_w, Lit off_w,
+               std::span<const Candidate> candidates);
+
+  std::uint32_t numCandidates() const {
+    return static_cast<std::uint32_t>(sel_.size());
+  }
+
+  /// True iff the selected candidate subset can implement the patch.
+  /// Undecided (budgeted) queries conservatively report false.
+  bool feasible(std::span<const std::uint32_t> selected);
+
+  /// After a feasible() == true: the subset of `selected` that the solver
+  /// actually used to derive infeasibility of a collision (an unsat core —
+  /// itself a feasible base).
+  const std::vector<std::uint32_t>& lastCore() const { return last_core_; }
+
+  /// Counterexample enumeration (Sec. 6.2.1): with `selected` assumed,
+  /// enumerates distinct on-side valuations of the `watch` candidates
+  /// (bit i of a pattern = value of watch[i] in the A copy), blocking each
+  /// with a fresh control variable. Stops at `max_cex` patterns.
+  std::vector<std::uint64_t> enumerateCex(std::span<const std::uint32_t> selected,
+                                          std::span<const std::uint32_t> watch,
+                                          std::uint32_t max_cex);
+
+  std::uint64_t numConflicts() const { return solver_.numConflicts(); }
+
+ private:
+  sat::Solver solver_;
+  std::vector<sat::SLit> sel_;    ///< selection literal per candidate
+  std::vector<sat::SLit> val_a_;  ///< candidate value in the on (A) copy
+  std::vector<sat::SLit> val_b_;  ///< candidate value in the off (B) copy
+  std::vector<std::uint32_t> last_core_;
+};
+
+/// Synthesizes a patch function over the selected candidates by Craig
+/// interpolation with fresh shared variables y_i == b_i (A side) and
+/// y_i == b_i* (B side). Returns a standalone single-output AIG whose PI i
+/// is the raw value of candidates[selected[i]], or nullopt when the query
+/// does not refute within the budget (infeasible or budgeted out).
+std::optional<Aig> synthesizeOverBase(const Workspace& ws, Lit on_w, Lit off_w,
+                                      std::span<const Candidate> candidates,
+                                      std::span<const std::uint32_t> selected,
+                                      std::int64_t conflict_budget);
+
+}  // namespace eco

@@ -1,0 +1,106 @@
+#include "eco/rectifiability.h"
+
+#include "base/check.h"
+#include "cnf/cnf.h"
+#include "eco/relations.h"
+#include "sat/solver.h"
+
+namespace eco {
+
+RectifiabilityResult checkRectifiability(const EcoInstance& instance,
+                                         std::uint32_t max_strategies,
+                                         std::int64_t conflict_budget) {
+  RectifiabilityResult result;
+  Workspace ws = buildWorkspace(instance);
+  const std::uint32_t alpha = instance.numTargets();
+
+  // Exists-solver: one incremental encoding of F(X,T) != ... == G(X) with
+  // X constrained by assumptions; asks "does some T fix this X*?".
+  sat::Solver exists_solver;
+  cnf::SolverSink exists_sink(exists_solver);
+  cnf::CnfMap exists_map;
+  std::vector<sat::SLit> x_lits, t_lits;
+  for (const Lit x : ws.x_pis) {
+    const sat::SLit l = sat::SLit::make(exists_solver.newVar(), false);
+    exists_map[x.var()] = l;
+    x_lits.push_back(l);
+  }
+  for (const Lit t : ws.t_pis) {
+    const sat::SLit l = sat::SLit::make(exists_solver.newVar(), false);
+    exists_map[t.var()] = l;
+    t_lits.push_back(l);
+  }
+  {
+    // Assert every output pair equal.
+    for (std::size_t j = 0; j < ws.f_roots.size(); ++j) {
+      const Lit eq = ws.w.mkEquiv(ws.f_roots[j], ws.g_roots[j]);
+      const sat::SLit el = cnf::encodeCone(ws.w, eq, exists_map, exists_sink);
+      exists_solver.addClause({el});
+    }
+  }
+
+  // Forall-solver: accumulates one "this strategy fails" miter per
+  // discovered T-strategy; a model is an X no known strategy fixes.
+  sat::Solver forall_solver;
+  cnf::SolverSink forall_sink(forall_solver);
+  cnf::CnfMap forall_map;
+  std::vector<sat::SLit> fx_lits;
+  for (const Lit x : ws.x_pis) {
+    const sat::SLit l = sat::SLit::make(forall_solver.newVar(), false);
+    forall_map[x.var()] = l;
+    fx_lits.push_back(l);
+  }
+  const auto addStrategy = [&](const std::vector<bool>& t_values) {
+    VarMap repl;
+    for (std::uint32_t k = 0; k < alpha; ++k) {
+      repl[ws.t_pis[k].var()] = t_values[k] ? kTrue : kFalse;
+    }
+    const std::vector<Lit> fixed = substitute(ws.w, ws.f_roots, repl);
+    Lit neq = kFalse;
+    for (std::size_t j = 0; j < fixed.size(); ++j) {
+      neq = ws.w.mkOr(neq, ws.w.mkXor(fixed[j], ws.g_roots[j]));
+    }
+    const sat::SLit nl = cnf::encodeCone(ws.w, neq, forall_map, forall_sink);
+    forall_solver.addClause({nl});
+  };
+
+  // Seed with the all-zero strategy.
+  addStrategy(std::vector<bool>(alpha, false));
+  ++result.iterations;
+
+  while (result.iterations <= max_strategies) {
+    forall_solver.setConflictBudget(conflict_budget);
+    const sat::Status fs = forall_solver.solve();
+    if (fs == sat::Status::Unsat) {
+      result.status = Rectifiability::Rectifiable;
+      return result;
+    }
+    if (fs != sat::Status::Sat) break;  // budgeted out
+
+    std::vector<bool> x_star(ws.x_pis.size());
+    std::vector<sat::SLit> assumptions;
+    for (std::size_t i = 0; i < fx_lits.size(); ++i) {
+      x_star[i] = forall_solver.modelValue(fx_lits[i]) == sat::LBool::True;
+      assumptions.push_back(x_star[i] ? x_lits[i] : ~x_lits[i]);
+    }
+    exists_solver.setConflictBudget(conflict_budget);
+    const sat::Status es = exists_solver.solve(assumptions);
+    if (es == sat::Status::Unsat) {
+      result.status = Rectifiability::Unrectifiable;
+      result.witness_x = std::move(x_star);
+      return result;
+    }
+    if (es != sat::Status::Sat) break;
+
+    std::vector<bool> t_star(alpha);
+    for (std::uint32_t k = 0; k < alpha; ++k) {
+      t_star[k] = exists_solver.modelValue(t_lits[k]) == sat::LBool::True;
+    }
+    addStrategy(t_star);
+    ++result.iterations;
+  }
+  result.status = Rectifiability::Unknown;
+  return result;
+}
+
+}  // namespace eco

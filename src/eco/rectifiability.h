@@ -1,0 +1,37 @@
+#pragma once
+// Rectifiability decision (Sec. 4.1, Eq. 2):
+//
+//   forall X  exists T :  F(X, T) == G(X)
+//
+// holds iff the faulty circuit can be rectified through the given targets.
+// Decided by counterexample-guided strategy refinement on the 2QBF: a
+// growing set S of constant T-strategies is maintained; a SAT query looks
+// for an X* that no strategy in S fixes; a second (incremental) query asks
+// whether any T fixes X* — adding it to S on success, or returning X* as an
+// unrectifiability witness on failure.
+//
+// Independent of the patch generator, so it doubles as an oracle for
+// validating the engine's completeness (a generation failure must coincide
+// with Unrectifiable here).
+
+#include <cstdint>
+#include <vector>
+
+#include "eco/instance.h"
+
+namespace eco {
+
+enum class Rectifiability { Rectifiable, Unrectifiable, Unknown };
+
+struct RectifiabilityResult {
+  Rectifiability status = Rectifiability::Unknown;
+  /// Witness X assignment when Unrectifiable: no T value fixes it.
+  std::vector<bool> witness_x;
+  std::uint32_t iterations = 0;  ///< strategies enumerated
+};
+
+RectifiabilityResult checkRectifiability(const EcoInstance& instance,
+                                         std::uint32_t max_strategies = 256,
+                                         std::int64_t conflict_budget = -1);
+
+}  // namespace eco

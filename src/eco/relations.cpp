@@ -1,0 +1,90 @@
+#include "eco/relations.h"
+
+#include "base/check.h"
+
+namespace eco {
+
+Workspace buildWorkspace(const EcoInstance& instance) {
+  const Aig& f = instance.faulty;
+  const Aig& g = instance.golden;
+  ECO_CHECK_MSG(g.numPis() == instance.num_x,
+                "golden circuit must be over the X inputs only");
+  ECO_CHECK_MSG(f.numPos() == g.numPos(),
+                "faulty and golden circuits must have matching outputs");
+
+  Workspace ws;
+  for (std::uint32_t i = 0; i < instance.num_x; ++i) {
+    ws.x_pis.push_back(ws.w.addPi(f.piName(i)));
+  }
+  for (std::uint32_t k = 0; k < instance.numTargets(); ++k) {
+    ws.t_pis.push_back(ws.w.addPi(instance.targetName(k)));
+  }
+
+  // Faulty side: X PIs map to shared X, targets to target pseudo-PIs.
+  for (std::uint32_t i = 0; i < instance.num_x; ++i) {
+    ws.faulty_to_w[f.piVar(i)] = ws.x_pis[i];
+  }
+  for (std::uint32_t k = 0; k < instance.numTargets(); ++k) {
+    ws.faulty_to_w[f.piVar(instance.targetPi(k))] = ws.t_pis[k];
+  }
+  std::vector<Lit> f_drivers;
+  for (std::uint32_t j = 0; j < f.numPos(); ++j) f_drivers.push_back(f.poDriver(j));
+  // Also carry every *named* faulty signal into the workspace so it can be
+  // offered as a patch-base candidate even when outside the PO cones.
+  for (const auto& [name, lit] : f.namedSignals()) {
+    (void)name;
+    f_drivers.push_back(lit);
+  }
+  const std::vector<Lit> f_mapped = copyCones(f, f_drivers, ws.faulty_to_w, ws.w);
+  ws.f_roots.assign(f_mapped.begin(), f_mapped.begin() + f.numPos());
+  ws.from_faulty.assign(ws.w.numNodes(), false);
+  for (const auto& [fvar, wlit] : ws.faulty_to_w) {
+    (void)fvar;
+    ws.from_faulty[wlit.var()] = true;
+  }
+
+  // Golden side over the shared X PIs.
+  for (std::uint32_t i = 0; i < instance.num_x; ++i) {
+    ws.golden_to_w[g.piVar(i)] = ws.x_pis[i];
+  }
+  std::vector<Lit> g_drivers;
+  for (std::uint32_t j = 0; j < g.numPos(); ++j) g_drivers.push_back(g.poDriver(j));
+  ws.g_roots = copyCones(g, g_drivers, ws.golden_to_w, ws.w);
+  ws.from_golden.assign(ws.w.numNodes(), false);
+  for (const auto& [gvar, wlit] : ws.golden_to_w) {
+    (void)gvar;
+    ws.from_golden[wlit.var()] = true;
+  }
+  ws.from_faulty.resize(ws.w.numNodes(), false);
+  return ws;
+}
+
+std::vector<Lit> cofactorRoots(Aig& w, std::span<const Lit> roots, Lit t,
+                               bool value) {
+  ECO_CHECK(!t.complemented());
+  VarMap repl;
+  repl[t.var()] = value ? kTrue : kFalse;
+  return substitute(w, roots, repl);
+}
+
+OnOffSets buildOnOff(Aig& w, std::span<const Lit> f_roots,
+                     std::span<const Lit> g_roots, Lit t_k) {
+  ECO_CHECK(f_roots.size() == g_roots.size());
+  const std::vector<Lit> f0 = cofactorRoots(w, f_roots, t_k, false);
+  const std::vector<Lit> f1 = cofactorRoots(w, f_roots, t_k, true);
+
+  Lit on = kFalse;
+  Lit off = kFalse;
+  for (std::size_t j = 0; j < f_roots.size(); ++j) {
+    // care_j^{t_k} = f_j|t=0 xor f_j|t=1  (sensitivity of output j to t_k)
+    const Lit care = w.mkXor(f0[j], f1[j]);
+    // diff_j|t=e = f_j|t=e xor g_j       (error minterms with t_k = e)
+    const Lit diff0 = w.mkXor(f0[j], g_roots[j]);
+    const Lit diff1 = w.mkXor(f1[j], g_roots[j]);
+    on = w.mkOr(on, w.addAnd(care, diff0));
+    off = w.mkOr(off, w.addAnd(care, diff1));
+  }
+  return {on, off};
+}
+
+}  // namespace eco

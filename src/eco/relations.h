@@ -1,0 +1,52 @@
+#pragma once
+// Workspace construction and the care/diff-set algebra of Sec. 2.3 / Sec. 4.
+//
+// All rectification reasoning happens in one combined AIG (the *workspace*)
+// holding the faulty cones f_j(X, T), the golden cones g_j(X) over shared X
+// PIs, and every derived construction (cofactors, care-sets, diff-sets,
+// on/off-sets, patches). Structural hashing keeps the shared structure
+// compact, and provenance maps connect workspace nodes back to the faulty
+// netlist's named signals for base selection and cost accounting.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aig/aig_ops.h"
+#include "eco/instance.h"
+
+namespace eco {
+
+struct Workspace {
+  Aig w;
+  std::vector<Lit> x_pis;  ///< workspace PI literal of X input i
+  std::vector<Lit> t_pis;  ///< workspace PI literal of target k
+  std::vector<Lit> f_roots;  ///< f_j(X, T), as originally parsed
+  std::vector<Lit> g_roots;  ///< g_j(X)
+
+  /// Provenance: workspace literal of every faulty-AIG variable (by faulty
+  /// var index) and tag masks for localization's shared-signal detection.
+  VarMap faulty_to_w;
+  VarMap golden_to_w;
+  std::vector<bool> from_faulty;  ///< per workspace var
+  std::vector<bool> from_golden;  ///< per workspace var
+};
+
+Workspace buildWorkspace(const EcoInstance& instance);
+
+struct OnOffSets {
+  Lit on;   ///< Eq. (7): minterms where the patch must output 1
+  Lit off;  ///< Eq. (8): minterms where the patch must output 0
+};
+
+/// Builds the multi-output on/off-sets of target pseudo-PI `t_k` (Eqs. 7–8)
+/// for the given faulty root functions (earlier patches already
+/// substituted). `f_roots` and `g_roots` must be index-aligned.
+OnOffSets buildOnOff(Aig& w, std::span<const Lit> f_roots,
+                     std::span<const Lit> g_roots, Lit t_k);
+
+/// Cofactors the given roots on pseudo-PI `t` (substitutes the constant).
+std::vector<Lit> cofactorRoots(Aig& w, std::span<const Lit> roots, Lit t,
+                               bool value);
+
+}  // namespace eco

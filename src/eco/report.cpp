@@ -1,0 +1,86 @@
+#include "eco/report.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace eco {
+namespace {
+
+std::string fmt(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+/// Ratio with 0/0 -> 1 convention (both engines degenerate equally).
+double safeRatio(double num, double den) {
+  if (den <= 0) return num <= 0 ? 1.0 : num;
+  return num / den;
+}
+
+}  // namespace
+
+std::string formatRunReport(const EcoInstance& instance, const PatchResult& r) {
+  std::ostringstream os;
+  os << "instance " << instance.name << ": " << instance.num_x << " inputs, "
+     << instance.faulty.numPos() << " outputs, " << instance.numTargets()
+     << " target(s)\n";
+  if (!r.success) {
+    os << "  FAILED: " << r.message << "\n";
+    return os.str();
+  }
+  os << fmt("  clusters: %u, cut signals: %u, interpolation fallbacks: %u\n",
+            r.num_clusters, r.cut_size, r.itp_failures);
+  os << fmt("  initial patch: cost %.2f, %u gates\n", r.initial_cost,
+            r.initial_size);
+  os << fmt("  final patch:   cost %.2f, %u gates, %zu base signal(s), %.2fs\n",
+            r.cost, r.size, r.base.size(), r.seconds);
+  for (const BaseRef& b : r.base) {
+    os << fmt("    base %-16s weight %.2f\n", b.name.c_str(), b.weight);
+  }
+  return os.str();
+}
+
+std::string formatComparisonTable(const std::vector<ComparisonRow>& rows) {
+  std::ostringstream os;
+  os << fmt("%-10s %7s | %10s %6s %8s | %10s %6s %8s | %6s %6s %6s\n", "ckt",
+            "#target", "b.cost", "b.size", "b.time", "o.cost", "o.size",
+            "o.time", "r.cost", "r.size", "r.time");
+  double geo_cost = 0, geo_size = 0, geo_time = 0;
+  int counted = 0;
+  for (const ComparisonRow& row : rows) {
+    if (!row.baseline.success || !row.ours.success) {
+      os << fmt("%-10s %7u | baseline: %s / ours: %s\n", row.name.c_str(),
+                row.num_targets,
+                row.baseline.success ? "ok" : row.baseline.message.c_str(),
+                row.ours.success ? "ok" : row.ours.message.c_str());
+      continue;
+    }
+    const double rc = safeRatio(row.ours.cost, row.baseline.cost);
+    const double rs = safeRatio(row.ours.size, row.baseline.size);
+    const double rt = safeRatio(row.ours.seconds, row.baseline.seconds);
+    os << fmt(
+        "%-10s %7u | %10.1f %6u %7.2fs | %10.1f %6u %7.2fs | %6.3f %6.3f "
+        "%6.2f\n",
+        row.name.c_str(), row.num_targets, row.baseline.cost,
+        row.baseline.size, row.baseline.seconds, row.ours.cost, row.ours.size,
+        row.ours.seconds, rc, rs, rt);
+    geo_cost += std::log(std::max(rc, 1e-6));
+    geo_size += std::log(std::max(rs, 1e-6));
+    geo_time += std::log(std::max(rt, 1e-6));
+    ++counted;
+  }
+  if (counted > 0) {
+    os << fmt("%-10s %7s | %27s | %27s | %6.3f %6.3f %6.2f  (geo. mean)\n",
+              "geomean", "", "", "", std::exp(geo_cost / counted),
+              std::exp(geo_size / counted), std::exp(geo_time / counted));
+  }
+  return os.str();
+}
+
+}  // namespace eco

@@ -1,0 +1,28 @@
+#pragma once
+// Human-readable run reports: a per-instance summary block and a
+// multi-instance comparison table (the Table 2 layout). Used by the CLI,
+// the examples, and the bench harnesses.
+
+#include <string>
+#include <vector>
+
+#include "eco/instance.h"
+
+namespace eco {
+
+/// Formats one engine run as an indented multi-line block.
+std::string formatRunReport(const EcoInstance& instance, const PatchResult& r);
+
+/// One row of a comparison table.
+struct ComparisonRow {
+  std::string name;
+  std::uint32_t num_targets = 0;
+  PatchResult baseline;
+  PatchResult ours;
+};
+
+/// Formats the paper's Table 2 layout: per-row cost/size/time for both
+/// engines, ours/baseline ratio columns, geometric means in the footer.
+std::string formatComparisonTable(const std::vector<ComparisonRow>& rows);
+
+}  // namespace eco

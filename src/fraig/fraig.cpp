@@ -1,0 +1,217 @@
+#include "fraig/fraig.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "aig/aig_ops.h"
+#include "base/check.h"
+#include "base/rng.h"
+#include "cnf/cnf.h"
+#include "sat/solver.h"
+#include "sim/sim.h"
+
+namespace eco::fraig {
+
+EquivClasses::EquivClasses(std::uint32_t num_vars) {
+  repr_.reserve(num_vars);
+  for (std::uint32_t v = 0; v < num_vars; ++v) {
+    repr_.push_back(Lit::fromVar(v, false));
+  }
+}
+
+void EquivClasses::merge(std::uint32_t var, Lit repr) {
+  ECO_CHECK(repr.var() < var);
+  ECO_CHECK_MSG(repr_[repr.var()].var() == repr.var(),
+                "merge target must be a class representative");
+  repr_[var] = repr;
+}
+
+namespace {
+
+// 64-bit FNV-1a over the signature words.
+std::uint64_t hashWords(std::span<const std::uint64_t> words, bool invert) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const std::uint64_t m = invert ? ~std::uint64_t{0} : 0;
+  for (const std::uint64_t w : words) {
+    std::uint64_t x = w ^ m;
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+// Canonical phase: complement the signature if its first bit is set, so a
+// node and its complement land in the same bucket.
+bool canonicalPhase(std::span<const std::uint64_t> sig) { return (sig[0] & 1) != 0; }
+
+}  // namespace
+
+EquivClasses computeEquivClasses(const Aig& aig, std::span<const Lit> roots,
+                                 const Options& options) {
+  EquivClasses classes(aig.numNodes());
+  Rng rng(options.seed);
+
+  // Restrict attention to the cones of the roots (plus the constant node).
+  std::vector<std::uint32_t> cone_vars = collectCone(aig, roots);
+  cone_vars.push_back(0);
+  std::sort(cone_vars.begin(), cone_vars.end());
+
+  sim::PatternSet patterns(aig.numPis(), options.sim_words);
+  patterns.randomize(rng);
+
+  // One incremental solver over the whole region; cones encoded on demand.
+  sat::Solver solver;
+  cnf::SolverSink sink(solver);
+  cnf::CnfMap cnf_map;
+  for (std::uint32_t i = 0; i < aig.numPis(); ++i) {
+    cnf_map[aig.piVar(i)] = sat::SLit::make(solver.newVar(), false);
+  }
+  const auto litOf = [&](Lit l) {
+    return cnf::encodeCone(aig, l, cnf_map, sink);
+  };
+
+  // Pairs already proven or abandoned, keyed by (lo var, hi var).
+  std::unordered_set<std::uint64_t> settled;
+  const auto pairKey = [](std::uint32_t a, std::uint32_t b) {
+    return (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+  };
+
+  // Pending counterexamples collected during a verification sweep.
+  sim::PatternSet cex(aig.numPis(), 1);
+  std::uint32_t cex_count = 0;
+
+  for (std::uint32_t round = 0; round < options.max_rounds; ++round) {
+    const sim::PatternSet values = sim::simulateAll(aig, patterns);
+
+    // Bucket by canonical signature hash.
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+    for (const std::uint32_t var : cone_vars) {
+      if (classes.hasSmallerEquiv(var)) continue;  // already merged
+      const auto sig = values.of(var);
+      buckets[hashWords(sig, canonicalPhase(sig))].push_back(var);
+    }
+
+    bool found_cex = false;
+    cex_count = 0;
+    for (auto& [hash, members] : buckets) {
+      (void)hash;
+      if (members.size() < 2) continue;
+      std::sort(members.begin(), members.end());
+      const std::uint32_t rep = members[0];
+      const auto rep_sig = values.of(rep);
+      const bool rep_phase = canonicalPhase(rep_sig);
+      for (std::size_t i = 1; i < members.size(); ++i) {
+        const std::uint32_t cand = members[i];
+        if (settled.count(pairKey(rep, cand)) != 0) continue;
+        const auto cand_sig = values.of(cand);
+        // Exact signature comparison (hash buckets can collide).
+        const bool cand_phase = canonicalPhase(cand_sig);
+        bool equal = true;
+        const std::uint64_t m =
+            (rep_phase != cand_phase) ? ~std::uint64_t{0} : 0;
+        for (std::uint32_t w = 0; w < patterns.wordsPerSignal(); ++w) {
+          if (rep_sig[w] != (cand_sig[w] ^ m)) {
+            equal = false;
+            break;
+          }
+        }
+        if (!equal) continue;
+
+        // SAT check: rep_lit == cand_lit (with relative phase)?
+        const Lit rep_lit = Lit::fromVar(rep, false);
+        const Lit cand_lit = Lit::fromVar(cand, rep_phase != cand_phase);
+        const sat::SLit a = litOf(rep_lit);
+        const sat::SLit b = litOf(cand_lit);
+        solver.setConflictBudget(options.conflict_budget);
+        const sat::Status s1 = solver.solve({a, ~b});
+        if (s1 == sat::Status::Sat) {
+          // Record the distinguishing pattern.
+          for (std::uint32_t p = 0; p < aig.numPis(); ++p) {
+            const sat::SLit pl = cnf_map.at(aig.piVar(p));
+            const sat::LBool v = solver.modelValue(pl);
+            cex.setBit(p, cex_count % 64,
+                       v == sat::LBool::Undef ? rng.chance(1, 2)
+                                              : v == sat::LBool::True);
+          }
+          ++cex_count;
+          found_cex = true;
+          continue;
+        }
+        const sat::Status s2 =
+            s1 == sat::Status::Unsat ? solver.solve({~a, b}) : sat::Status::Undef;
+        if (s2 == sat::Status::Sat) {
+          for (std::uint32_t p = 0; p < aig.numPis(); ++p) {
+            const sat::SLit pl = cnf_map.at(aig.piVar(p));
+            const sat::LBool v = solver.modelValue(pl);
+            cex.setBit(p, cex_count % 64,
+                       v == sat::LBool::Undef ? rng.chance(1, 2)
+                                              : v == sat::LBool::True);
+          }
+          ++cex_count;
+          found_cex = true;
+          continue;
+        }
+        if (s1 == sat::Status::Unsat && s2 == sat::Status::Unsat) {
+          classes.merge(cand, cand_lit == Lit::fromVar(cand, false)
+                                  ? rep_lit
+                                  : !rep_lit);
+        }
+        // Proven or abandoned either way: never re-query this pair.
+        settled.insert(pairKey(rep, cand));
+        if (cex_count >= 64) break;
+      }
+      if (cex_count >= 64) break;
+    }
+
+    if (!found_cex) break;
+    // Extend the pattern set with the counterexamples and refine.
+    sim::PatternSet extended(aig.numPis(), patterns.wordsPerSignal() + 1);
+    for (std::uint32_t p = 0; p < aig.numPis(); ++p) {
+      auto dst = extended.of(p);
+      const auto src = patterns.of(p);
+      for (std::uint32_t w = 0; w < patterns.wordsPerSignal(); ++w) dst[w] = src[w];
+      dst[patterns.wordsPerSignal()] = cex.of(p)[0];
+    }
+    patterns = std::move(extended);
+  }
+  return classes;
+}
+
+std::vector<Lit> compressCones(Aig& aig, std::span<const Lit> roots,
+                               const Options& options) {
+  const EquivClasses classes = computeEquivClasses(aig, roots, options);
+  VarMap map;
+  map[0] = kFalse;
+  // collectCone yields fanins before fanouts, and representatives have
+  // smaller indices than their members, so one forward pass suffices.
+  for (const std::uint32_t var : collectCone(aig, roots)) {
+    const Lit nl = classes.normalize(Lit::fromVar(var, false));
+    if (nl.var() != var) {
+      const auto it = map.find(nl.var());
+      if (it != map.end()) {
+        map[var] = it->second ^ nl.complemented();
+        continue;
+      }
+      // Representative outside the traversed cone: fall through and rebuild
+      // this node structurally.
+    }
+    if (aig.isPi(var)) {
+      map[var] = Lit::fromVar(var, false);
+      continue;
+    }
+    const Lit f0 = aig.fanin0(var);
+    const Lit f1 = aig.fanin1(var);
+    const Lit m0 = map.at(f0.var()) ^ f0.complemented();
+    const Lit m1 = map.at(f1.var()) ^ f1.complemented();
+    map[var] = aig.addAnd(m0, m1);
+  }
+  std::vector<Lit> out;
+  out.reserve(roots.size());
+  for (const Lit r : roots) out.push_back(map.at(r.var()) ^ r.complemented());
+  return out;
+}
+
+}  // namespace eco::fraig

@@ -1,0 +1,68 @@
+#pragma once
+// FRAIG-style functional equivalence class computation (the FRAIG stage of
+// the paper's flow, Fig. 1).
+//
+// Candidate classes come from word-parallel random simulation; candidates
+// are confirmed by incremental SAT (miter per pair) and refuted
+// counterexamples are fed back as new simulation patterns until the classes
+// stabilize. Complemented equivalences (a == !b) are handled by canonical
+// signature phase.
+//
+// The ECO flow runs this on a combined AIG holding both the faulty and the
+// golden cones over shared PIs; signals of the two circuits falling into
+// one class are exactly the paper's "shared equivalent signals".
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aig/aig.h"
+
+namespace eco::fraig {
+
+struct Options {
+  std::uint32_t sim_words = 8;        ///< initial random pattern words (x64)
+  std::uint32_t max_rounds = 64;      ///< refinement round cap
+  std::int64_t conflict_budget = 10000;  ///< per-query SAT budget
+  std::uint64_t seed = 0xECD5EEDULL;
+};
+
+class EquivClasses {
+ public:
+  explicit EquivClasses(std::uint32_t num_vars);
+
+  /// Canonical literal of `l`'s proven equivalence class. Two literals are
+  /// proven functionally equivalent iff their normalized literals coincide.
+  Lit normalize(Lit l) const {
+    const Lit r = repr_[l.var()];
+    return r ^ l.complemented();
+  }
+
+  /// True iff `var` has a proven-equivalent node with a smaller index (or
+  /// is equivalent to the constant).
+  bool hasSmallerEquiv(std::uint32_t var) const {
+    return repr_[var].var() != var;
+  }
+
+  void merge(std::uint32_t var, Lit repr);
+
+  std::uint32_t numVars() const { return static_cast<std::uint32_t>(repr_.size()); }
+
+ private:
+  std::vector<Lit> repr_;  ///< indexed by var; representatives map to themselves
+};
+
+/// Computes proven equivalence classes among all nodes in the cones of
+/// `roots` (constant node included, so stuck-at signals are detected).
+EquivClasses computeEquivClasses(const Aig& aig, std::span<const Lit> roots,
+                                 const Options& options = {});
+
+/// Functionally reduces the cones of `roots`: every node proven equivalent
+/// to an (earlier, hence typically smaller) class representative is rebuilt
+/// on top of that representative. Returns the rebuilt root literals in the
+/// same graph. This is the classical FRAIG reduction; the ECO engine uses
+/// it to damp the cone growth of Algorithm 1's iterated substitutions.
+std::vector<Lit> compressCones(Aig& aig, std::span<const Lit> roots,
+                               const Options& options = {});
+
+}  // namespace eco::fraig

@@ -1,0 +1,241 @@
+#include "io/aiger.h"
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "base/check.h"
+
+namespace eco::io {
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error("aiger: " + msg);
+}
+
+struct Layout {
+  std::vector<std::uint32_t> index_of_var;  ///< AIG var -> dense AIGER var
+  std::vector<std::uint32_t> and_vars;      ///< AIG AND vars, ascending
+};
+
+Layout layoutOf(const Aig& aig) {
+  Layout lay;
+  lay.index_of_var.assign(aig.numNodes(), 0);
+  std::uint32_t next = 1;
+  for (std::uint32_t i = 0; i < aig.numPis(); ++i) {
+    lay.index_of_var[aig.piVar(i)] = next++;
+  }
+  for (std::uint32_t v = 1; v < aig.numNodes(); ++v) {
+    if (aig.isAnd(v)) {
+      lay.index_of_var[v] = next++;
+      lay.and_vars.push_back(v);
+    }
+  }
+  return lay;
+}
+
+std::uint32_t aigerLit(const Layout& lay, Lit l) {
+  return 2 * lay.index_of_var[l.var()] + (l.complemented() ? 1 : 0);
+}
+
+void writeSymbols(const Aig& aig, std::ostringstream& os) {
+  for (std::uint32_t i = 0; i < aig.numPis(); ++i) {
+    if (!aig.piName(i).empty()) os << "i" << i << " " << aig.piName(i) << "\n";
+  }
+  for (std::uint32_t i = 0; i < aig.numPos(); ++i) {
+    if (!aig.poName(i).empty()) os << "o" << i << " " << aig.poName(i) << "\n";
+  }
+}
+
+void pushVarint(std::string& out, std::uint32_t x) {
+  while (x & ~0x7Fu) {
+    out.push_back(static_cast<char>(0x80 | (x & 0x7F)));
+    x >>= 7;
+  }
+  out.push_back(static_cast<char>(x));
+}
+
+std::uint32_t readVarint(const std::string& data, std::size_t& pos) {
+  std::uint32_t x = 0;
+  int shift = 0;
+  for (;;) {
+    if (pos >= data.size()) fail("truncated binary and-gate section");
+    const auto byte = static_cast<unsigned char>(data[pos++]);
+    x |= static_cast<std::uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 28) fail("varint overflow");
+  }
+  return x;
+}
+
+}  // namespace
+
+std::string writeAigerAscii(const Aig& aig) {
+  const Layout lay = layoutOf(aig);
+  const std::uint32_t M = aig.numPis() + static_cast<std::uint32_t>(lay.and_vars.size());
+  std::ostringstream os;
+  os << "aag " << M << " " << aig.numPis() << " 0 " << aig.numPos() << " "
+     << lay.and_vars.size() << "\n";
+  for (std::uint32_t i = 0; i < aig.numPis(); ++i) {
+    os << 2 * (i + 1) << "\n";
+  }
+  for (std::uint32_t i = 0; i < aig.numPos(); ++i) {
+    os << aigerLit(lay, aig.poDriver(i)) << "\n";
+  }
+  for (const std::uint32_t v : lay.and_vars) {
+    os << 2 * lay.index_of_var[v] << " " << aigerLit(lay, aig.fanin0(v)) << " "
+       << aigerLit(lay, aig.fanin1(v)) << "\n";
+  }
+  writeSymbols(aig, os);
+  return os.str();
+}
+
+std::string writeAigerBinary(const Aig& aig) {
+  const Layout lay = layoutOf(aig);
+  const std::uint32_t M = aig.numPis() + static_cast<std::uint32_t>(lay.and_vars.size());
+  std::ostringstream head;
+  head << "aig " << M << " " << aig.numPis() << " 0 " << aig.numPos() << " "
+       << lay.and_vars.size() << "\n";
+  for (std::uint32_t i = 0; i < aig.numPos(); ++i) {
+    head << aigerLit(lay, aig.poDriver(i)) << "\n";
+  }
+  std::string out = head.str();
+  for (const std::uint32_t v : lay.and_vars) {
+    const std::uint32_t lhs = 2 * lay.index_of_var[v];
+    std::uint32_t rhs0 = aigerLit(lay, aig.fanin0(v));
+    std::uint32_t rhs1 = aigerLit(lay, aig.fanin1(v));
+    if (rhs0 < rhs1) std::swap(rhs0, rhs1);
+    ECO_CHECK_MSG(lhs > rhs0, "AND ordering violated in binary AIGER");
+    pushVarint(out, lhs - rhs0);
+    pushVarint(out, rhs0 - rhs1);
+  }
+  std::ostringstream sym;
+  writeSymbols(aig, sym);
+  out += sym.str();
+  return out;
+}
+
+Aig parseAiger(const std::string& data) {
+  std::size_t pos = 0;
+  const auto readLine = [&]() -> std::string {
+    const std::size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) fail("unexpected end of file");
+    std::string line = data.substr(pos, nl - pos);
+    pos = nl + 1;
+    return line;
+  };
+
+  std::string header = readLine();
+  std::istringstream hs(header);
+  std::string magic;
+  std::uint32_t M = 0, I = 0, L = 0, O = 0, A = 0;
+  if (!(hs >> magic >> M >> I >> L >> O >> A)) fail("malformed header");
+  const bool binary = magic == "aig";
+  if (!binary && magic != "aag") fail("unknown magic '" + magic + "'");
+  if (L != 0) fail("sequential designs (latches) are not supported");
+  if (M < I + A) fail("inconsistent header counts");
+
+  Aig aig;
+  // aiger var -> our literal. Var 0 is constant FALSE in both encodings.
+  std::vector<Lit> lit_of(M + 1, Lit());
+  lit_of[0] = kFalse;
+  const auto litOf = [&](std::uint32_t l) -> Lit {
+    if (l / 2 > M) fail("literal out of range");
+    const Lit base = lit_of[l / 2];
+    if (!base.valid()) fail("literal " + std::to_string(l) + " used before defined");
+    return base ^ ((l & 1) != 0);
+  };
+
+  std::vector<std::uint32_t> input_lits(I), output_lits(O);
+  if (binary) {
+    for (std::uint32_t i = 0; i < I; ++i) input_lits[i] = 2 * (i + 1);
+  } else {
+    for (std::uint32_t i = 0; i < I; ++i) {
+      input_lits[i] = static_cast<std::uint32_t>(std::stoul(readLine()));
+      if (input_lits[i] != 2 * (i + 1)) fail("non-canonical input numbering");
+    }
+  }
+  for (std::uint32_t i = 0; i < I; ++i) {
+    lit_of[input_lits[i] / 2] = aig.addPi();
+  }
+  for (std::uint32_t i = 0; i < O; ++i) {
+    output_lits[i] = static_cast<std::uint32_t>(std::stoul(readLine()));
+  }
+
+  if (binary) {
+    for (std::uint32_t a = 0; a < A; ++a) {
+      const std::uint32_t lhs = 2 * (I + L + a + 1);
+      const std::uint32_t delta0 = readVarint(data, pos);
+      const std::uint32_t delta1 = readVarint(data, pos);
+      if (delta0 > lhs) fail("invalid delta");
+      const std::uint32_t rhs0 = lhs - delta0;
+      if (delta1 > rhs0) fail("invalid delta");
+      const std::uint32_t rhs1 = rhs0 - delta1;
+      lit_of[lhs / 2] = aig.addAnd(litOf(rhs0), litOf(rhs1));
+    }
+  } else {
+    // ASCII AND definitions may reference later definitions only in
+    // non-standard files; require the canonical ascending order.
+    for (std::uint32_t a = 0; a < A; ++a) {
+      std::istringstream ls(readLine());
+      std::uint32_t lhs = 0, rhs0 = 0, rhs1 = 0;
+      if (!(ls >> lhs >> rhs0 >> rhs1)) fail("malformed and line");
+      if ((lhs & 1) != 0 || lhs / 2 > M) fail("bad and lhs");
+      if (lit_of[lhs / 2].valid()) fail("redefinition of " + std::to_string(lhs));
+      lit_of[lhs / 2] = aig.addAnd(litOf(rhs0), litOf(rhs1));
+    }
+  }
+
+  for (std::uint32_t i = 0; i < O; ++i) {
+    aig.addPo(litOf(output_lits[i]));
+  }
+
+  // Symbol table (and comments, ignored).
+  std::vector<std::string> pi_names(I), po_names(O);
+  while (pos < data.size()) {
+    const std::size_t nl = data.find('\n', pos);
+    const std::string line =
+        data.substr(pos, nl == std::string::npos ? std::string::npos : nl - pos);
+    pos = nl == std::string::npos ? data.size() : nl + 1;
+    if (line.empty()) continue;
+    if (line[0] == 'c') break;  // comment section
+    if (line[0] != 'i' && line[0] != 'o') fail("bad symbol line '" + line + "'");
+    const std::size_t sp = line.find(' ');
+    if (sp == std::string::npos) fail("bad symbol line '" + line + "'");
+    const auto idx = static_cast<std::uint32_t>(std::stoul(line.substr(1, sp - 1)));
+    const std::string name = line.substr(sp + 1);
+    if (line[0] == 'i') {
+      if (idx >= I) fail("input symbol out of range");
+      pi_names[idx] = name;
+    } else {
+      if (idx >= O) fail("output symbol out of range");
+      po_names[idx] = name;
+    }
+  }
+  // Rebuild with names (names are fixed at PI creation).
+  Aig named;
+  {
+    std::unordered_map<std::uint32_t, Lit> map;
+    map[0] = kFalse;
+    for (std::uint32_t i = 0; i < I; ++i) {
+      map[aig.piVar(i)] = named.addPi(pi_names[i]);
+    }
+    for (std::uint32_t v = 1; v < aig.numNodes(); ++v) {
+      if (!aig.isAnd(v)) continue;
+      const Lit f0 = aig.fanin0(v);
+      const Lit f1 = aig.fanin1(v);
+      map[v] = named.addAnd(map.at(f0.var()) ^ f0.complemented(),
+                            map.at(f1.var()) ^ f1.complemented());
+    }
+    for (std::uint32_t j = 0; j < O; ++j) {
+      const Lit d = aig.poDriver(j);
+      named.addPo(map.at(d.var()) ^ d.complemented(), po_names[j]);
+    }
+  }
+  return named;
+}
+
+}  // namespace eco::io

@@ -1,0 +1,27 @@
+#pragma once
+// AIGER format I/O (combinational subset, formats "aag" ASCII and "aig"
+// binary, per the AIGER 1.9 specification).
+//
+// AIGER is the lingua franca of AIG-based tools (ABC, model checkers, SAT
+// sweeping utilities); supporting it lets instances move between this
+// library and the wider ecosystem. Latches are rejected — the ECO problem
+// is combinational.
+
+#include <string>
+
+#include "aig/aig.h"
+
+namespace eco::io {
+
+/// Parses an AIGER file (auto-detects "aag" vs "aig" from the header).
+/// Symbol-table input/output names are applied when present. Throws
+/// std::runtime_error on malformed input or sequential designs.
+Aig parseAiger(const std::string& data);
+
+/// Serializes to ASCII AIGER ("aag"). Node indices are reassigned densely.
+std::string writeAigerAscii(const Aig& aig);
+
+/// Serializes to binary AIGER ("aig").
+std::string writeAigerBinary(const Aig& aig);
+
+}  // namespace eco::io

@@ -1,0 +1,265 @@
+#include "io/blif.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "aig/aig_ops.h"
+#include "base/check.h"
+
+namespace eco::io {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("blif: line " + std::to_string(line) + ": " + msg);
+}
+
+struct Cover {
+  std::vector<std::string> inputs;
+  std::string output;
+  std::vector<std::string> rows;  ///< input cube part only
+  bool on_set = true;             ///< polarity of the output column
+  bool polarity_known = false;
+  int line = 0;
+};
+
+std::vector<std::string> splitTokens(const std::string& s) {
+  std::istringstream is(s);
+  std::vector<std::string> out;
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace
+
+Aig parseBlif(const std::string& text) {
+  // Pass 1: logical lines (continuations joined, comments stripped).
+  std::vector<std::pair<std::string, int>> lines;
+  {
+    std::istringstream is(text);
+    std::string raw;
+    int line_no = 0;
+    std::string pending;
+    int pending_line = 0;
+    while (std::getline(is, raw)) {
+      ++line_no;
+      if (const std::size_t hash = raw.find('#'); hash != std::string::npos) {
+        raw = raw.substr(0, hash);
+      }
+      const bool cont = !raw.empty() && raw.back() == '\\';
+      if (cont) raw.pop_back();
+      if (pending.empty()) pending_line = line_no;
+      pending += raw;
+      if (cont) {
+        pending += " ";
+        continue;
+      }
+      if (!splitTokens(pending).empty()) lines.emplace_back(pending, pending_line);
+      pending.clear();
+    }
+    if (!pending.empty() && !splitTokens(pending).empty()) {
+      lines.emplace_back(pending, pending_line);
+    }
+  }
+
+  std::vector<std::string> inputs, outputs;
+  std::vector<Cover> covers;
+  Cover* current = nullptr;
+  bool saw_model = false;
+
+  for (const auto& [line, line_no] : lines) {
+    const std::vector<std::string> tok = splitTokens(line);
+    if (tok[0][0] == '.') {
+      current = nullptr;
+      if (tok[0] == ".model") {
+        saw_model = true;
+      } else if (tok[0] == ".inputs") {
+        inputs.insert(inputs.end(), tok.begin() + 1, tok.end());
+      } else if (tok[0] == ".outputs") {
+        outputs.insert(outputs.end(), tok.begin() + 1, tok.end());
+      } else if (tok[0] == ".names") {
+        if (tok.size() < 2) fail(line_no, ".names needs at least an output");
+        Cover c;
+        c.inputs.assign(tok.begin() + 1, tok.end() - 1);
+        c.output = tok.back();
+        c.line = line_no;
+        covers.push_back(std::move(c));
+        current = &covers.back();
+      } else if (tok[0] == ".end") {
+        break;
+      } else if (tok[0] == ".latch" || tok[0] == ".subckt" || tok[0] == ".gate") {
+        fail(line_no, tok[0] + " is not supported (combinational flat models only)");
+      } else {
+        // Unknown dot-directives are skipped (e.g. .default_input_arrival).
+      }
+      continue;
+    }
+    // Cover row.
+    if (!current) fail(line_no, "cover row outside a .names block");
+    if (current->inputs.empty()) {
+      // Constant: single column row "1" or "0".
+      if (tok.size() != 1 || (tok[0] != "0" && tok[0] != "1")) {
+        fail(line_no, "bad constant row");
+      }
+      const bool on = tok[0] == "1";
+      if (current->polarity_known && current->on_set != on) {
+        fail(line_no, "mixed output polarities in one cover");
+      }
+      current->on_set = on;
+      current->polarity_known = true;
+      current->rows.push_back("");
+      continue;
+    }
+    if (tok.size() != 2) fail(line_no, "bad cover row");
+    const std::string& cube = tok[0];
+    if (cube.size() != current->inputs.size()) {
+      fail(line_no, "cube width does not match .names inputs");
+    }
+    for (const char ch : cube) {
+      if (ch != '0' && ch != '1' && ch != '-') fail(line_no, "bad cube character");
+    }
+    if (tok[1] != "0" && tok[1] != "1") fail(line_no, "bad output value");
+    const bool on = tok[1] == "1";
+    if (current->polarity_known && current->on_set != on) {
+      fail(line_no, "mixed output polarities in one cover");
+    }
+    current->on_set = on;
+    current->polarity_known = true;
+    current->rows.push_back(cube);
+  }
+  if (!saw_model) fail(1, "missing .model");
+
+  // Build the AIG: resolve covers by name with cycle detection.
+  Aig aig;
+  std::unordered_map<std::string, Lit> sig;
+  for (const std::string& in : inputs) {
+    if (sig.count(in) != 0) fail(1, "duplicate input '" + in + "'");
+    sig[in] = aig.addPi(in);
+  }
+  std::unordered_map<std::string, const Cover*> cover_of;
+  for (const Cover& c : covers) {
+    if (cover_of.count(c.output) != 0 || sig.count(c.output) != 0) {
+      fail(c.line, "signal '" + c.output + "' multiply driven");
+    }
+    cover_of[c.output] = &c;
+  }
+
+  const auto resolve = [&](const std::string& root) -> Lit {
+    std::vector<std::string> path{root};
+    std::unordered_set<std::string> on_path{root};
+    while (!path.empty()) {
+      const std::string name = path.back();
+      if (sig.count(name) != 0) {
+        on_path.erase(name);
+        path.pop_back();
+        continue;
+      }
+      const auto it = cover_of.find(name);
+      if (it == cover_of.end()) {
+        throw std::runtime_error("blif: undriven signal '" + name + "'");
+      }
+      const Cover& c = *it->second;
+      const std::string* pending = nullptr;
+      for (const std::string& in : c.inputs) {
+        if (sig.count(in) == 0) {
+          pending = &in;
+          break;
+        }
+      }
+      if (pending) {
+        if (on_path.count(*pending) != 0) {
+          throw std::runtime_error("blif: combinational cycle through '" +
+                                   *pending + "'");
+        }
+        on_path.insert(*pending);
+        path.push_back(*pending);
+        continue;
+      }
+      // SOP -> AIG.
+      Lit sum = kFalse;
+      for (const std::string& cube : c.rows) {
+        Lit prod = kTrue;
+        for (std::size_t i = 0; i < cube.size(); ++i) {
+          if (cube[i] == '-') continue;
+          prod = aig.addAnd(prod, sig.at(c.inputs[i]) ^ (cube[i] == '0'));
+        }
+        sum = aig.mkOr(sum, prod);
+      }
+      // Empty cover (no rows) is constant 0 by BLIF convention.
+      Lit value = sum;
+      if (c.polarity_known && !c.on_set) value = !sum;
+      sig[name] = value;
+      aig.setSignalName(value, name);
+      on_path.erase(name);
+      path.pop_back();
+    }
+    return sig.at(root);
+  };
+
+  for (const std::string& out : outputs) {
+    aig.addPo(resolve(out), out);
+  }
+  return aig;
+}
+
+std::string writeBlif(const Aig& aig, const std::string& model_name) {
+  std::ostringstream os;
+  const auto piName = [&](std::uint32_t i) {
+    const std::string& n = aig.piName(i);
+    return n.empty() ? "pi" + std::to_string(i) : n;
+  };
+  const auto poName = [&](std::uint32_t i) {
+    const std::string& n = aig.poName(i);
+    return n.empty() ? "po" + std::to_string(i) : n;
+  };
+  std::unordered_set<std::string> used;
+  for (std::uint32_t i = 0; i < aig.numPis(); ++i) used.insert(piName(i));
+  for (std::uint32_t i = 0; i < aig.numPos(); ++i) used.insert(poName(i));
+  const auto freshName = [&](std::uint32_t id) {
+    std::string name = "n" + std::to_string(id);
+    while (used.count(name) != 0) name += "_";
+    used.insert(name);
+    return name;
+  };
+
+  os << ".model " << model_name << "\n.inputs";
+  for (std::uint32_t i = 0; i < aig.numPis(); ++i) os << " " << piName(i);
+  os << "\n.outputs";
+  for (std::uint32_t i = 0; i < aig.numPos(); ++i) os << " " << poName(i);
+  os << "\n";
+
+  // Emit live AND nodes as 2-input covers; complemented fanins fold into
+  // the cube columns, so no explicit inverters are needed.
+  std::vector<Lit> roots;
+  for (std::uint32_t j = 0; j < aig.numPos(); ++j) roots.push_back(aig.poDriver(j));
+  std::vector<std::string> node_name(aig.numNodes());
+  for (std::uint32_t i = 0; i < aig.numPis(); ++i) node_name[aig.piVar(i)] = piName(i);
+  for (const std::uint32_t var : collectCone(aig, roots)) {
+    if (!aig.isAnd(var)) continue;
+    node_name[var] = freshName(var);
+    const Lit f0 = aig.fanin0(var);
+    const Lit f1 = aig.fanin1(var);
+    os << ".names " << node_name[f0.var()] << " " << node_name[f1.var()] << " "
+       << node_name[var] << "\n";
+    os << (f0.complemented() ? "0" : "1") << (f1.complemented() ? "0" : "1")
+       << " 1\n";
+  }
+  for (std::uint32_t j = 0; j < aig.numPos(); ++j) {
+    const Lit d = aig.poDriver(j);
+    os << ".names ";
+    if (d == kFalse || d == kTrue) {
+      os << poName(j) << "\n";
+      if (d == kTrue) os << "1\n";  // constant-0 cover is empty
+    } else {
+      os << node_name[d.var()] << " " << poName(j) << "\n"
+         << (d.complemented() ? "0" : "1") << " 1\n";
+    }
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace eco::io

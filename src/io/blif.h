@@ -1,0 +1,22 @@
+#pragma once
+// BLIF (Berkeley Logic Interchange Format) I/O, combinational subset.
+//
+// Supported: .model / .inputs / .outputs / .names (SOP covers with both
+// on-set and off-set output polarity, don't-care '-' input column), line
+// continuation '\', comments '#', .end. Latches (.latch) and subcircuits
+// (.subckt) are rejected — the ECO problem is combinational and flat.
+
+#include <string>
+
+#include "aig/aig.h"
+
+namespace eco::io {
+
+/// Parses a flat combinational BLIF model into an AIG. Throws
+/// std::runtime_error with a line-annotated message on malformed input.
+Aig parseBlif(const std::string& text);
+
+/// Serializes an AIG as BLIF using 2-input .names for every AND node.
+std::string writeBlif(const Aig& aig, const std::string& model_name);
+
+}  // namespace eco::io

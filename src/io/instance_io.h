@@ -1,0 +1,27 @@
+#pragma once
+// Whole-instance I/O in the contest layout: faulty netlist (targets as
+// floating wires), golden netlist, weight file.
+
+#include <string>
+
+#include "eco/instance.h"
+
+namespace eco::io {
+
+struct InstanceFiles {
+  std::string faulty_v;   ///< F.v — targets are undriven wires
+  std::string golden_v;   ///< G.v
+  std::string weights;    ///< weight.txt
+};
+
+/// Builds an EcoInstance from the three contest files. Throws
+/// std::runtime_error on malformed input or mismatched interfaces
+/// (different X inputs or output lists).
+EcoInstance loadInstance(const std::string& faulty_v, const std::string& golden_v,
+                         const std::string& weights,
+                         const std::string& name = "instance");
+
+/// Serializes an instance into the three contest files.
+InstanceFiles saveInstance(const EcoInstance& instance);
+
+}  // namespace eco::io

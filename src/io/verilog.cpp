@@ -1,0 +1,512 @@
+#include "io/verilog.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "base/check.h"
+
+namespace eco::io {
+namespace {
+
+struct Token {
+  std::string text;
+  int line;
+};
+
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == ';' || c == '=' || c == '~') {
+      tokens.push_back({std::string(1, c), line});
+      ++i;
+      continue;
+    }
+    // Identifier / keyword / constant (allow alnum _ $ . [ ] ').
+    std::size_t j = i;
+    while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                     text[j] == '_' || text[j] == '$' || text[j] == '.' ||
+                     text[j] == '[' || text[j] == ']' || text[j] == '\'')) {
+      ++j;
+    }
+    if (j == i) {
+      throw std::runtime_error("verilog: unexpected character '" +
+                               std::string(1, c) + "' at line " +
+                               std::to_string(line));
+    }
+    tokens.push_back({text.substr(i, j - i), line});
+    i = j;
+  }
+  return tokens;
+}
+
+struct GateInst {
+  std::string type;
+  std::vector<std::string> terminals;  // output first
+  int line;
+};
+
+bool isGateType(const std::string& t) {
+  static const std::unordered_set<std::string> kTypes = {
+      "buf", "not", "and", "or", "nand", "nor", "xor", "xnor"};
+  return kTypes.count(t) != 0;
+}
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("verilog: line " + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace
+
+Netlist parseVerilog(const std::string& text) {
+  const std::vector<Token> tokens = tokenize(text);
+  std::size_t pos = 0;
+  const auto peek = [&]() -> const Token& {
+    if (pos >= tokens.size()) {
+      static const Token eof{"<eof>", -1};
+      return eof;
+    }
+    return tokens[pos];
+  };
+  const auto next = [&]() -> const Token& {
+    const Token& t = peek();
+    if (t.line < 0) fail(0, "unexpected end of file");
+    ++pos;
+    return t;
+  };
+  const auto expect = [&](const std::string& want) {
+    const Token& t = next();
+    if (t.text != want) fail(t.line, "expected '" + want + "', got '" + t.text + "'");
+  };
+
+  Netlist result;
+  expect("module");
+  result.module_name = next().text;
+  // Port list (names are repeated in input/output declarations).
+  expect("(");
+  while (peek().text != ")") {
+    next();
+    if (peek().text == ",") next();
+  }
+  expect(")");
+  expect(";");
+
+  std::vector<std::string> inputs, outputs, wires;
+  std::vector<GateInst> gates;
+  // assign lhs = rhs (rhs may be ~name or a constant)
+  struct Assign {
+    std::string lhs, rhs;
+    bool invert;
+    int line;
+  };
+  std::vector<Assign> assigns;
+
+  for (;;) {
+    const Token& t = next();
+    if (t.text == "endmodule") break;
+    if (t.text == "input" || t.text == "output" || t.text == "wire") {
+      std::vector<std::string>& dst =
+          t.text == "input" ? inputs : (t.text == "output" ? outputs : wires);
+      for (;;) {
+        dst.push_back(next().text);
+        const Token& sep = next();
+        if (sep.text == ";") break;
+        if (sep.text != ",") fail(sep.line, "expected ',' or ';' in declaration");
+      }
+      continue;
+    }
+    if (t.text == "assign") {
+      Assign a;
+      a.line = t.line;
+      a.lhs = next().text;
+      expect("=");
+      a.invert = false;
+      if (peek().text == "~") {
+        next();
+        a.invert = true;
+      }
+      a.rhs = next().text;
+      expect(";");
+      assigns.push_back(a);
+      continue;
+    }
+    if (isGateType(t.text)) {
+      GateInst g;
+      g.type = t.text;
+      g.line = t.line;
+      Token name_or_paren = next();  // optional instance name
+      if (name_or_paren.text != "(") expect("(");
+      for (;;) {
+        g.terminals.push_back(next().text);
+        const Token& sep = next();
+        if (sep.text == ")") break;
+        if (sep.text != ",") fail(sep.line, "expected ',' or ')' in terminal list");
+      }
+      expect(";");
+      const std::size_t min_terms = (g.type == "buf" || g.type == "not") ? 2 : 3;
+      if (g.terminals.size() < min_terms) fail(g.line, "too few gate terminals");
+      gates.push_back(std::move(g));
+      continue;
+    }
+    fail(t.line, "unexpected token '" + t.text + "'");
+  }
+
+  // Map each driven signal to its driver.
+  struct Driver {
+    int gate = -1;    // index into gates
+    int assign = -1;  // index into assigns
+  };
+  std::unordered_map<std::string, Driver> driver_of;
+  const std::unordered_set<std::string> input_set(inputs.begin(), inputs.end());
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const std::string& out = gates[i].terminals[0];
+    if (driver_of.count(out) != 0 || input_set.count(out) != 0) {
+      fail(gates[i].line, "signal '" + out + "' multiply driven");
+    }
+    driver_of[out].gate = static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < assigns.size(); ++i) {
+    if (driver_of.count(assigns[i].lhs) != 0 ||
+        input_set.count(assigns[i].lhs) != 0) {
+      fail(assigns[i].line, "signal '" + assigns[i].lhs + "' multiply driven");
+    }
+    driver_of[assigns[i].lhs].assign = static_cast<int>(i);
+  }
+
+  // PIs: declared inputs, then floating wires (targets) in declaration order.
+  result.inputs = inputs;
+  Aig& aig = result.aig;
+  std::unordered_map<std::string, Lit> sig;
+  for (const std::string& in : inputs) {
+    if (sig.count(in) != 0) fail(0, "duplicate input '" + in + "'");
+    sig[in] = aig.addPi(in);
+  }
+  for (const std::string& w : wires) {
+    if (driver_of.count(w) == 0 && sig.count(w) == 0) {
+      result.targets.push_back(w);
+      sig[w] = aig.addPi(w);
+    }
+  }
+
+  // Resolve signals with an explicit-frame DFS; the frame stack is exactly
+  // the current path, so the on-path set detects true combinational cycles
+  // (a plain work-stack would misreport reconvergent fanins as cycles).
+  struct Frame {
+    std::string name;
+    std::vector<std::string> fanins;
+    bool expanded = false;
+  };
+  const auto resolve = [&](const std::string& root_name) -> Lit {
+    if (auto it = sig.find(root_name); it != sig.end()) return it->second;
+    std::vector<Frame> path;
+    std::unordered_set<std::string> on_path;
+    path.push_back(Frame{root_name, {}, false});
+    on_path.insert(root_name);
+    while (!path.empty()) {
+      Frame& fr = path.back();
+      if (sig.count(fr.name) != 0) {
+        on_path.erase(fr.name);
+        path.pop_back();
+        continue;
+      }
+      if (fr.name == "1'b0" || fr.name == "1'b1") {
+        sig[fr.name] = fr.name == "1'b1" ? kTrue : kFalse;
+        continue;
+      }
+      const auto dit = driver_of.find(fr.name);
+      if (dit == driver_of.end()) {
+        throw std::runtime_error("verilog: undriven, undeclared signal '" +
+                                 fr.name + "'");
+      }
+      if (!fr.expanded) {
+        fr.expanded = true;
+        if (dit->second.gate >= 0) {
+          const GateInst& g = gates[dit->second.gate];
+          fr.fanins.assign(g.terminals.begin() + 1, g.terminals.end());
+        } else {
+          fr.fanins.push_back(assigns[dit->second.assign].rhs);
+        }
+      }
+      // Descend into the first unresolved fanin, if any.
+      const std::string* pending = nullptr;
+      for (const std::string& f : fr.fanins) {
+        if (sig.count(f) == 0) {
+          pending = &f;
+          break;
+        }
+      }
+      if (pending) {
+        if (on_path.count(*pending) != 0) {
+          throw std::runtime_error("verilog: combinational cycle through '" +
+                                   *pending + "'");
+        }
+        const std::string next = *pending;  // copy: path may reallocate
+        on_path.insert(next);
+        path.push_back(Frame{next, {}, false});
+        continue;
+      }
+      // All fanins resolved: build the gate function.
+      Lit value;
+      if (dit->second.gate >= 0) {
+        const GateInst& g = gates[dit->second.gate];
+        std::vector<Lit> ins;
+        ins.reserve(fr.fanins.size());
+        for (const std::string& f : fr.fanins) ins.push_back(sig.at(f));
+        if (g.type == "buf") {
+          value = ins[0];
+        } else if (g.type == "not") {
+          value = !ins[0];
+        } else if (g.type == "and" || g.type == "nand") {
+          value = aig.mkAndN(ins);
+          if (g.type == "nand") value = !value;
+        } else if (g.type == "or" || g.type == "nor") {
+          value = aig.mkOrN(ins);
+          if (g.type == "nor") value = !value;
+        } else {  // xor / xnor
+          value = kFalse;
+          for (const Lit in : ins) value = aig.mkXor(value, in);
+          if (g.type == "xnor") value = !value;
+        }
+      } else {
+        const Assign& a = assigns[dit->second.assign];
+        value = sig.at(a.rhs) ^ a.invert;
+      }
+      const std::string done = fr.name;
+      sig[done] = value;
+      aig.setSignalName(value, done);
+      on_path.erase(done);
+      path.pop_back();
+    }
+    return sig.at(root_name);
+  };
+
+  result.outputs = outputs;
+  for (const std::string& out : outputs) {
+    aig.addPo(resolve(out), out);
+  }
+  // Resolve remaining driven wires too, so every named signal of the faulty
+  // circuit is available as a patch-base candidate even outside PO cones.
+  for (const auto& [name, drv] : driver_of) {
+    (void)drv;
+    resolve(name);
+  }
+  return result;
+}
+
+std::string writeVerilog(const Aig& aig, const std::string& module_name) {
+  return writeVerilogWithFloating(aig, module_name, {});
+}
+
+std::string writeVerilogWithFloating(
+    const Aig& aig, const std::string& module_name,
+    std::span<const std::uint32_t> floating_pis) {
+  std::unordered_set<std::uint32_t> floating(floating_pis.begin(),
+                                             floating_pis.end());
+  std::ostringstream os;
+  const auto piName = [&](std::uint32_t i) {
+    const std::string& n = aig.piName(i);
+    return n.empty() ? "pi" + std::to_string(i) : n;
+  };
+  const auto poName = [&](std::uint32_t i) {
+    const std::string& n = aig.poName(i);
+    return n.empty() ? "po" + std::to_string(i) : n;
+  };
+
+  os << "module " << module_name << " (";
+  bool first = true;
+  for (std::uint32_t i = 0; i < aig.numPis(); ++i) {
+    if (floating.count(i) != 0) continue;
+    os << (first ? " " : ", ") << piName(i);
+    first = false;
+  }
+  for (std::uint32_t i = 0; i < aig.numPos(); ++i) {
+    os << (first ? " " : ", ") << poName(i);
+    first = false;
+  }
+  os << " );\n";
+  for (std::uint32_t i = 0; i < aig.numPis(); ++i) {
+    if (floating.count(i) != 0) continue;
+    os << "input " << piName(i) << ";\n";
+  }
+  for (std::uint32_t i = 0; i < aig.numPos(); ++i) {
+    os << "output " << poName(i) << ";\n";
+  }
+  // Floating pseudo-PIs: declared, never driven (rectification targets).
+  for (std::uint32_t i = 0; i < aig.numPis(); ++i) {
+    if (floating.count(i) != 0) os << "wire " << piName(i) << ";\n";
+  }
+
+  // Emit logic reachable from the POs *and* from every named signal — named
+  // dangling logic (spare cells, disconnected cones) is part of the netlist
+  // and its names carry the weight-file entries. Inverters are created on
+  // demand. Generated wire names must not collide with any existing name.
+  std::unordered_set<std::string> used_names;
+  for (std::uint32_t i = 0; i < aig.numPis(); ++i) used_names.insert(piName(i));
+  for (std::uint32_t i = 0; i < aig.numPos(); ++i) used_names.insert(poName(i));
+  for (const auto& [name, lit] : aig.namedSignals()) {
+    (void)lit;
+    used_names.insert(name);
+  }
+  const auto freshName = [&](std::uint32_t id) {
+    std::string name = "n" + std::to_string(id);
+    while (used_names.count(name) != 0) name += "_";
+    used_names.insert(name);
+    return name;
+  };
+  std::vector<std::string> node_name(aig.numNodes());
+  for (std::uint32_t i = 0; i < aig.numPis(); ++i) node_name[aig.piVar(i)] = piName(i);
+  // Non-complemented signal names become the node's wire name directly;
+  // complemented ones are emitted as explicit inverter wires below.
+  std::vector<const std::string*> preferred_name(aig.numNodes(), nullptr);
+  std::vector<const std::string*> complement_name(aig.numNodes(), nullptr);
+  {
+    std::unordered_set<std::string> port_names;
+    for (std::uint32_t i = 0; i < aig.numPis(); ++i) port_names.insert(piName(i));
+    for (std::uint32_t i = 0; i < aig.numPos(); ++i) port_names.insert(poName(i));
+    for (const auto& [name, lit] : aig.namedSignals()) {
+      if (aig.isPi(lit.var()) || lit.var() == 0) continue;
+      if (port_names.count(name) != 0) continue;  // would shadow a port
+      auto& slot = lit.complemented() ? complement_name[lit.var()]
+                                      : preferred_name[lit.var()];
+      if (!slot) slot = &name;
+    }
+  }
+  std::vector<std::string> inv_name(aig.numNodes());
+  std::ostringstream body;
+  std::uint32_t next_gate = 0;
+  std::vector<std::string> wires;
+
+  const auto litName = [&](Lit l) -> std::string {
+    if (l == kFalse) return "1'b0";
+    if (l == kTrue) return "1'b1";
+    if (!l.complemented()) return node_name[l.var()];
+    if (inv_name[l.var()].empty()) {
+      inv_name[l.var()] = freshName(aig.numNodes() + l.var());
+      wires.push_back(inv_name[l.var()]);
+      body << "not g" << next_gate++ << " (" << inv_name[l.var()] << ", "
+           << node_name[l.var()] << ");\n";
+    }
+    return inv_name[l.var()];
+  };
+
+  // Topological emission over the PO cones and the named-signal cones.
+  std::vector<Lit> roots;
+  for (std::uint32_t i = 0; i < aig.numPos(); ++i) roots.push_back(aig.poDriver(i));
+  for (const auto& [name, lit] : aig.namedSignals()) {
+    (void)name;
+    roots.push_back(lit);
+  }
+  // collectCone-style inline traversal to honor gate ordering.
+  std::vector<bool> seen(aig.numNodes(), false);
+  seen[0] = true;
+  std::vector<std::uint32_t> stack;
+  for (const Lit r : roots) stack.push_back(r.var());
+  while (!stack.empty()) {
+    const std::uint32_t var = stack.back();
+    if (seen[var]) {
+      stack.pop_back();
+      continue;
+    }
+    if (aig.isPi(var)) {
+      seen[var] = true;
+      stack.pop_back();
+      continue;
+    }
+    const std::uint32_t f0 = aig.fanin0(var).var();
+    const std::uint32_t f1 = aig.fanin1(var).var();
+    if (!seen[f0]) {
+      stack.push_back(f0);
+      continue;
+    }
+    if (!seen[f1]) {
+      stack.push_back(f1);
+      continue;
+    }
+    seen[var] = true;
+    stack.pop_back();
+    node_name[var] = preferred_name[var] ? *preferred_name[var] : freshName(var);
+    wires.push_back(node_name[var]);
+    const std::string a = litName(aig.fanin0(var));
+    const std::string b = litName(aig.fanin1(var));
+    body << "and g" << next_gate++ << " (" << node_name[var] << ", " << a << ", "
+         << b << ");\n";
+    if (complement_name[var] && inv_name[var].empty()) {
+      // A name bound to the complemented literal: emit it as an inverter
+      // wire so the name exists in the netlist.
+      inv_name[var] = *complement_name[var];
+      wires.push_back(inv_name[var]);
+      body << "not g" << next_gate++ << " (" << inv_name[var] << ", "
+           << node_name[var] << ");\n";
+    }
+  }
+  for (std::uint32_t i = 0; i < aig.numPos(); ++i) {
+    const Lit d = aig.poDriver(i);
+    if (d == kFalse || d == kTrue) {
+      body << "buf g" << next_gate++ << " (" << poName(i) << ", "
+           << (d == kTrue ? "1'b1" : "1'b0") << ");\n";
+    } else if (!d.complemented()) {
+      body << "buf g" << next_gate++ << " (" << poName(i) << ", "
+           << node_name[d.var()] << ");\n";
+    } else {
+      body << "not g" << next_gate++ << " (" << poName(i) << ", "
+           << node_name[d.var()] << ");\n";
+    }
+  }
+
+  for (const std::string& w : wires) os << "wire " << w << ";\n";
+  os << body.str();
+  os << "endmodule\n";
+  return os.str();
+}
+
+std::unordered_map<std::string, double> parseWeights(const std::string& text) {
+  std::unordered_map<std::string, double> weights;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string name;
+    if (!(ls >> name)) continue;  // blank
+    double w = 0;
+    if (!(ls >> w) || w < 0) {
+      throw std::runtime_error("weights: bad entry at line " +
+                               std::to_string(line_no));
+    }
+    weights[name] = w;
+  }
+  return weights;
+}
+
+std::string writeWeights(const std::unordered_map<std::string, double>& weights) {
+  // Sorted output for determinism.
+  std::vector<std::pair<std::string, double>> items(weights.begin(), weights.end());
+  std::sort(items.begin(), items.end());
+  std::ostringstream os;
+  for (const auto& [name, w] : items) os << name << " " << w << "\n";
+  return os.str();
+}
+
+}  // namespace eco::io

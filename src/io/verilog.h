@@ -1,0 +1,53 @@
+#pragma once
+// Gate-level structural Verilog I/O in the ICCAD 2017 contest style.
+//
+// Supported subset: one module; `input`/`output`/`wire` declarations;
+// primitive gate instances `buf not and or nand nor xor xnor` (first
+// terminal is the output); `assign lhs = rhs;` where rhs is an identifier,
+// `~identifier`, `1'b0` or `1'b1`. Declared wires that are never driven are
+// the ECO *target* pseudo-PIs (the contest's floating rectification points).
+//
+// The weight file gives one `<signal-name> <weight>` pair per line — the
+// cost of using that faulty-circuit signal as a patch base.
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.h"
+
+namespace eco::io {
+
+struct Netlist {
+  Aig aig;  ///< PIs = module inputs followed by floating wires (targets)
+  std::string module_name;
+  std::vector<std::string> inputs;   ///< declared module inputs, in order
+  std::vector<std::string> outputs;  ///< declared module outputs, in order
+  std::vector<std::string> targets;  ///< floating wires, in declaration order
+};
+
+/// Parses the supported Verilog subset. Throws std::runtime_error with a
+/// line-annotated message on malformed input.
+Netlist parseVerilog(const std::string& text);
+
+/// Serializes an AIG as a structural Verilog module using and/not/buf
+/// primitives. PI/PO names are taken from the AIG (auto-generated when
+/// empty).
+std::string writeVerilog(const Aig& aig, const std::string& module_name);
+
+/// Like writeVerilog, but the PIs whose index is in `floating_pis` are
+/// emitted as *undriven wires* instead of module inputs — the contest's
+/// encoding of rectification targets. Parsing the result recovers them in
+/// `Netlist::targets`.
+std::string writeVerilogWithFloating(const Aig& aig,
+                                     const std::string& module_name,
+                                     std::span<const std::uint32_t> floating_pis);
+
+/// Parses a weight file: `<name> <non-negative weight>` per line; `#`
+/// comments and blank lines are ignored.
+std::unordered_map<std::string, double> parseWeights(const std::string& text);
+
+std::string writeWeights(const std::unordered_map<std::string, double>& weights);
+
+}  // namespace eco::io

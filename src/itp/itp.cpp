@@ -1,0 +1,87 @@
+#include "itp/itp.h"
+
+#include "base/check.h"
+
+namespace eco::itp {
+
+ItpJob::ItpJob()
+    : solver_(/*log_proof=*/true),
+      sink_a_(*this, Partition::A),
+      sink_b_(*this, Partition::B) {}
+
+void ItpJob::markShared(sat::Var v, Lit aig_lit) {
+  shared_[v] = aig_lit;
+}
+
+void ItpJob::addPartitionClause(std::span<const sat::SLit> lits, Partition part) {
+  const sat::ClauseId id = solver_.addClause(lits);
+  if (id == sat::kNoClause) return;  // dropped (satisfied/tautological)
+  if (clause_partition_.size() <= id) clause_partition_.resize(id + 1, Partition::A);
+  clause_partition_[id] = part;
+  num_original_ = std::max(num_original_, id + 1);
+}
+
+sat::Status ItpJob::solve(std::int64_t conflict_budget) {
+  solver_.setConflictBudget(conflict_budget);
+  return solver_.solve();
+}
+
+Lit ItpJob::buildInterpolant(Aig& result) const {
+  const sat::Proof& proof = solver_.proof();
+  ECO_CHECK_MSG(proof.has_empty_clause, "buildInterpolant requires an UNSAT proof");
+
+  // Classify variables: "global" means occurring in a stored B clause.
+  std::vector<bool> occurs_in_b(solver_.numVars(), false);
+  for (sat::ClauseId id = 0; id < num_original_; ++id) {
+    if (clause_partition_[id] != Partition::B) continue;
+    for (const sat::SLit l : solver_.clauseLits(id)) occurs_in_b[l.var()] = true;
+  }
+
+  const std::size_t n_clauses = proof.chains.size();
+  std::vector<Lit> itp(n_clauses, Lit());
+
+  const auto leafItp = [&](sat::ClauseId id) -> Lit {
+    if (clause_partition_[id] == Partition::B) return kTrue;
+    // A clause: disjunction of its global literals, in result-AIG terms.
+    Lit acc = kFalse;
+    for (const sat::SLit l : solver_.clauseLits(id)) {
+      if (!occurs_in_b[l.var()]) continue;
+      const auto it = shared_.find(l.var());
+      ECO_CHECK_MSG(it != shared_.end(),
+                    "A/B-shared variable without an AIG mapping");
+      acc = result.mkOr(acc, it->second ^ l.sign());
+    }
+    return acc;
+  };
+
+  const auto clauseItp = [&](sat::ClauseId id) -> Lit {
+    ECO_CHECK(itp[id].valid());
+    return itp[id];
+  };
+
+  const auto replayChain = [&](const sat::ProofChain& chain) -> Lit {
+    Lit cur = clauseItp(chain.start);
+    for (const auto& step : chain.steps) {
+      const Lit other = clauseItp(step.clause);
+      if (occurs_in_b[step.pivot]) {
+        cur = result.addAnd(cur, other);
+      } else {
+        cur = result.mkOr(cur, other);
+      }
+    }
+    return cur;
+  };
+
+  // Clause ids are created in derivation order; chains only reference
+  // earlier ids, so a single forward pass suffices.
+  for (sat::ClauseId id = 0; id < n_clauses; ++id) {
+    if (proof.chains[id].start == sat::kNoClause) {
+      itp[id] = leafItp(id);  // original clause
+    } else {
+      itp[id] = replayChain(proof.chains[id]);
+    }
+  }
+  return replayChain(proof.empty_clause);
+}
+
+}  // namespace eco::itp

@@ -1,0 +1,84 @@
+#pragma once
+// Craig interpolation (Theorem 1 of the paper).
+//
+// An ItpJob is a one-shot partitioned SAT query: clauses are added to an
+// A part and a B part, designated variables are marked shared with their
+// literal in a result AIG, and — after an UNSAT answer — the resolution
+// proof is replayed with McMillan's rules to produce an interpolant I with
+//   A -> I      and      I /\ B unsatisfiable,
+// whose support lies within the shared variables. This is the synthesis
+// primitive behind SynthesizePatch (Sec. 4) and rebased patch functions
+// (Sec. 6.1).
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.h"
+#include "cnf/cnf.h"
+#include "sat/solver.h"
+
+namespace eco::itp {
+
+class ItpJob {
+ public:
+  ItpJob();
+
+  sat::Solver& solver() { return solver_; }
+
+  /// Marks solver variable `v` shared between the partitions; `aig_lit` is
+  /// the literal the interpolant uses for it in the result AIG.
+  void markShared(sat::Var v, Lit aig_lit);
+
+  /// Clause sinks for the two partitions (for cnf::encodeCone).
+  cnf::ClauseSink& sinkA() { return sink_a_; }
+  cnf::ClauseSink& sinkB() { return sink_b_; }
+
+  void addClauseA(std::span<const sat::SLit> lits) { sink_a_.addClause(lits); }
+  void addClauseB(std::span<const sat::SLit> lits) { sink_b_.addClause(lits); }
+  void addClauseA(std::initializer_list<sat::SLit> l) {
+    sink_a_.addClause(std::span<const sat::SLit>(l.begin(), l.size()));
+  }
+  void addClauseB(std::initializer_list<sat::SLit> l) {
+    sink_b_.addClause(std::span<const sat::SLit>(l.begin(), l.size()));
+  }
+
+  /// Solves A /\ B (assumption-free; optional conflict budget).
+  sat::Status solve(std::int64_t conflict_budget = -1);
+
+  /// After solve() == Unsat: replays the proof into `result`, returning the
+  /// interpolant literal. Checks that every A-clause literal surviving into
+  /// the interpolant has a shared mapping.
+  Lit buildInterpolant(Aig& result) const;
+
+ private:
+  enum class Partition : std::uint8_t { A = 0, B = 1 };
+
+  class PartitionSink final : public cnf::ClauseSink {
+   public:
+    PartitionSink(ItpJob& job, Partition part) : job_(job), part_(part) {}
+    sat::Var newVar() override { return job_.solver_.newVar(); }
+    void addClause(std::span<const sat::SLit> lits) override {
+      job_.addPartitionClause(lits, part_);
+    }
+
+   private:
+    ItpJob& job_;
+    Partition part_;
+  };
+
+  void addPartitionClause(std::span<const sat::SLit> lits, Partition part);
+
+  sat::Solver solver_;
+  PartitionSink sink_a_;
+  PartitionSink sink_b_;
+  /// Partition of each original clause id (learned ids are beyond).
+  std::vector<Partition> clause_partition_;
+  std::uint32_t num_original_ = 0;
+  std::unordered_map<sat::Var, Lit> shared_;
+  /// occurs_in_b_[v]: variable occurs in a stored B clause (McMillan's
+  /// "global" classification).
+  std::vector<bool> occurs_in_b_;
+};
+
+}  // namespace eco::itp

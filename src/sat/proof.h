@@ -1,0 +1,36 @@
+#pragma once
+// Resolution proof log.
+//
+// When proof logging is enabled, every learned clause records the trivial
+// resolution chain that derives it: a starting clause and a sequence of
+// (pivot variable, antecedent clause) steps, each step resolving the
+// current intermediate clause with the antecedent on the pivot. The final
+// refutation records the chain deriving the empty clause. The interpolant
+// builder (src/itp) replays these chains with McMillan's rules.
+
+#include <vector>
+
+#include "sat/types.h"
+
+namespace eco::sat {
+
+struct ProofChain {
+  ClauseId start = kNoClause;
+  /// Each step resolves the running clause with `clause` on `pivot`.
+  struct Step {
+    Var pivot;
+    ClauseId clause;
+  };
+  std::vector<Step> steps;
+};
+
+struct Proof {
+  /// chains[id] is the derivation of clause `id`; empty (start == kNoClause)
+  /// for original clauses.
+  std::vector<ProofChain> chains;
+  /// Derivation of the empty clause; valid only after an UNSAT answer.
+  ProofChain empty_clause;
+  bool has_empty_clause = false;
+};
+
+}  // namespace eco::sat

@@ -1,0 +1,619 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace eco::sat {
+
+namespace {
+
+constexpr double kVarDecay = 0.95;
+constexpr double kClauseDecay = 0.999;
+constexpr double kRescaleLimit = 1e100;
+
+// Luby restart sequence (unit = 128 conflicts).
+std::uint64_t luby(std::uint64_t i) {
+  // Find the finite subsequence that contains index i, then the index
+  // within that subsequence.
+  std::uint64_t size = 1, seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    --seq;
+    i = i % size;
+  }
+  return std::uint64_t{1} << seq;
+}
+
+}  // namespace
+
+Solver::Solver(bool log_proof) : log_proof_(log_proof) {}
+
+Var Solver::newVar() {
+  const Var v = numVars();
+  assigns_.push_back(LBool::Undef);
+  model_.push_back(LBool::Undef);
+  polarity_.push_back(true);  // default phase: false (MiniSat convention)
+  level_.push_back(0);
+  reason_.push_back(kNoClause);
+  trail_pos_.push_back(0);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(kNotInHeap);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heapInsert(v);
+  return v;
+}
+
+ClauseId Solver::allocClause(std::span<const SLit> lits, bool learned) {
+  Clause c;
+  c.begin = static_cast<std::uint32_t>(lit_pool_.size());
+  c.size = static_cast<std::uint32_t>(lits.size());
+  c.learned = learned;
+  lit_pool_.insert(lit_pool_.end(), lits.begin(), lits.end());
+  const auto id = static_cast<ClauseId>(clauses_.size());
+  clauses_.push_back(c);
+  if (log_proof_) proof_.chains.emplace_back();
+  return id;
+}
+
+void Solver::attachClause(ClauseId id) {
+  const Clause& c = clauses_[id];
+  ECO_CHECK(c.size >= 2);
+  const SLit* lits = lit_pool_.data() + c.begin;
+  watches_[(~lits[0]).index()].push_back(Watcher{id, lits[1]});
+  watches_[(~lits[1]).index()].push_back(Watcher{id, lits[0]});
+}
+
+void Solver::detachClause(ClauseId id) {
+  const Clause& c = clauses_[id];
+  const SLit* lits = lit_pool_.data() + c.begin;
+  for (int i = 0; i < 2; ++i) {
+    auto& ws = watches_[(~lits[i]).index()];
+    for (std::size_t j = 0; j < ws.size(); ++j) {
+      if (ws[j].clause == id) {
+        ws[j] = ws.back();
+        ws.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void Solver::removeClause(ClauseId id) {
+  detachClause(id);
+  clauses_[id].deleted = true;
+}
+
+ClauseId Solver::addClause(std::span<const SLit> in_lits) {
+  ECO_CHECK_MSG(decisionLevel() == 0, "clauses may only be added at the root level");
+  if (!ok_) return kNoClause;
+
+  // Normalize: sort, deduplicate, drop tautologies and satisfied clauses.
+  std::vector<SLit> lits(in_lits.begin(), in_lits.end());
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+    if (lits[i].var() == lits[i + 1].var()) return kNoClause;  // l and ~l
+  }
+  for (SLit l : lits) {
+    ECO_CHECK(l.var() < numVars());
+    if (value(l) == LBool::True) return kNoClause;  // satisfied at root
+  }
+  // Root-false literals are *kept* (required for sound proof logging); put
+  // free literals first so they take the watch positions.
+  std::stable_partition(lits.begin(), lits.end(),
+                        [&](SLit l) { return value(l) == LBool::Undef; });
+  const std::size_t n_free =
+      static_cast<std::size_t>(std::count_if(lits.begin(), lits.end(), [&](SLit l) {
+        return value(l) == LBool::Undef;
+      }));
+
+  const ClauseId id = allocClause(lits, /*learned=*/false);
+  if (n_free == 0) {
+    // Falsified at the root: the formula is unsatisfiable.
+    if (log_proof_) deriveRootConflict(id);
+    ok_ = false;
+    return id;
+  }
+  if (lits.size() >= 2) attachClause(id);
+  if (n_free == 1) {
+    enqueue(lits[0], id);
+    if (const ClauseId confl = propagate(); confl != kNoClause) {
+      if (log_proof_) deriveRootConflict(confl);
+      ok_ = false;
+    }
+  }
+  return id;
+}
+
+void Solver::enqueue(SLit l, ClauseId reason) {
+  ECO_CHECK(value(l) == LBool::Undef);
+  const Var v = l.var();
+  assigns_[v] = lboolOf(!l.sign());
+  level_[v] = decisionLevel();
+  reason_[v] = reason;
+  trail_pos_[v] = static_cast<std::uint32_t>(trail_.size());
+  trail_.push_back(l);
+}
+
+ClauseId Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const SLit p = trail_[qhead_++];
+    ++stats_propagations_;
+    auto& ws = watches_[p.index()];  // clauses watching ~p (now false)
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      const Watcher w = ws[i];
+      // Blocker check: clause already satisfied.
+      if (value(w.blocker) == LBool::True) {
+        ws[keep++] = w;
+        continue;
+      }
+      Clause& c = clauses_[w.clause];
+      SLit* lits = lit_pool_.data() + c.begin;
+      const SLit false_lit = ~p;
+      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+      // lits[1] == false_lit now.
+      if (value(lits[0]) == LBool::True) {
+        ws[keep++] = Watcher{w.clause, lits[0]};
+        continue;
+      }
+      // Find a replacement watch.
+      bool moved = false;
+      for (std::uint32_t k = 2; k < c.size; ++k) {
+        if (value(lits[k]) != LBool::False) {
+          std::swap(lits[1], lits[k]);
+          watches_[(~lits[1]).index()].push_back(Watcher{w.clause, lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Clause is unit or conflicting under the current assignment.
+      ws[keep++] = Watcher{w.clause, lits[0]};
+      if (value(lits[0]) == LBool::False) {
+        // Conflict: restore remaining watchers and report.
+        for (std::size_t j = i + 1; j < ws.size(); ++j) ws[keep++] = ws[j];
+        ws.resize(keep);
+        qhead_ = static_cast<std::uint32_t>(trail_.size());
+        return w.clause;
+      }
+      enqueue(lits[0], w.clause);
+    }
+    ws.resize(keep);
+  }
+  return kNoClause;
+}
+
+void Solver::cancelUntil(std::uint32_t target) {
+  if (decisionLevel() <= target) return;
+  for (std::size_t i = trail_.size(); i > trail_lim_[target];) {
+    --i;
+    const Var v = trail_[i].var();
+    assigns_[v] = LBool::Undef;
+    polarity_[v] = trail_[i].sign();
+    reason_[v] = kNoClause;
+    if (!heapContains(v)) heapInsert(v);
+  }
+  trail_.resize(trail_lim_[target]);
+  trail_lim_.resize(target);
+  qhead_ = static_cast<std::uint32_t>(trail_.size());
+}
+
+void Solver::bumpVar(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > kRescaleLimit) {
+    for (auto& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heapContains(v)) heapDecrease(v);
+}
+
+void Solver::decayVarActivities() { var_inc_ /= kVarDecay; }
+
+void Solver::bumpClause(ClauseId id) {
+  Clause& c = clauses_[id];
+  if (!c.learned) return;
+  c.activity += static_cast<float>(clause_inc_);
+  if (c.activity > 1e20f) {
+    for (auto& cl : clauses_) {
+      if (cl.learned) cl.activity *= 1e-20f;
+    }
+    clause_inc_ *= 1e-20;
+  }
+}
+
+// --- analysis ----------------------------------------------------------------
+
+void Solver::analyze(ClauseId confl, std::vector<SLit>& learnt,
+                     std::uint32_t& bt_level, ProofChain& chain) {
+  learnt.clear();
+  learnt.push_back(SLit());  // slot for the asserting literal
+  chain.start = confl;
+  chain.steps.clear();
+  level0_steps_.clear();
+  std::vector<Var> level0_vars;  // root-level vars to resolve away at the end
+  std::vector<Var> to_clear;
+
+  std::uint32_t counter = 0;
+  std::size_t trail_index = trail_.size();
+  SLit p;  // undefined on the first round: take the whole conflict clause
+
+  for (;;) {
+    ECO_CHECK(confl != kNoClause);
+    bumpClause(confl);
+    for (const SLit q : clauseLits(confl)) {
+      // Skip the pivot: the reason clause contains the propagated literal p
+      // itself (the running clause holds ~p).
+      if (p.defined() && q == p) continue;
+      const Var v = q.var();
+      if (seen_[v]) continue;
+      if (level_[v] == 0) {
+        // Root-level literal: excluded from the learned clause; the proof
+        // must resolve it away with root-level reasons.
+        seen_[v] = 1;
+        to_clear.push_back(v);
+        if (log_proof_) level0_vars.push_back(v);
+        continue;
+      }
+      seen_[v] = 1;
+      to_clear.push_back(v);
+      bumpVar(v);
+      if (level_[v] == decisionLevel()) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Select the next literal (at the current level) to resolve on.
+    while (!seen_[trail_[trail_index - 1].var()] ||
+           level_[trail_[trail_index - 1].var()] != decisionLevel()) {
+      --trail_index;
+    }
+    p = trail_[--trail_index];
+    seen_[p.var()] = 0;
+    --counter;
+    if (counter == 0) break;
+    confl = reason_[p.var()];
+    if (log_proof_) chain.steps.push_back({p.var(), confl});
+  }
+  learnt[0] = ~p;
+
+  // Cheap self-subsumption minimization: drop a literal whose reason clause
+  // is covered by the remaining clause (plus root-level literals).
+  std::vector<SLit> scratch;
+  std::size_t w = 1;
+  std::vector<std::pair<std::uint32_t, SLit>> removed;  // (trail pos, lit)
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (litRedundant(learnt[i], scratch)) {
+      removed.push_back({trail_pos_[learnt[i].var()], learnt[i]});
+    } else {
+      learnt[w++] = learnt[i];
+    }
+  }
+  learnt.resize(w);
+  if (log_proof_ && !removed.empty()) {
+    // Emit minimization steps in decreasing trail order so every pivot is
+    // still present in the running clause during replay.
+    std::sort(removed.begin(), removed.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (const auto& [pos, lit] : removed) {
+      (void)pos;
+      const ClauseId r = reason_[lit.var()];
+      chain.steps.push_back({lit.var(), r});
+      for (const SLit q : clauseLits(r)) {
+        const Var v = q.var();
+        if (level_[v] == 0 && !seen_[v]) {
+          seen_[v] = 1;
+          to_clear.push_back(v);
+          level0_vars.push_back(v);
+        }
+      }
+    }
+  }
+
+  // Resolve away accumulated root-level literals, walking the root trail
+  // segment backwards so each reason only introduces earlier literals.
+  if (log_proof_ && !level0_vars.empty()) {
+    const std::size_t root_end = trail_lim_.empty() ? trail_.size() : trail_lim_[0];
+    for (std::size_t i = root_end; i > 0;) {
+      --i;
+      const Var v = trail_[i].var();
+      if (!seen_[v] || level_[v] != 0) continue;
+      bool is_level0_target = false;
+      for (const Var lv : level0_vars) {
+        if (lv == v) { is_level0_target = true; break; }
+      }
+      if (!is_level0_target) continue;
+      const ClauseId r = reason_[v];
+      ECO_CHECK_MSG(r != kNoClause, "root-level literal without a reason");
+      chain.steps.push_back({v, r});
+      for (const SLit q : clauseLits(r)) {
+        const Var qv = q.var();
+        if (qv == v) continue;
+        if (!seen_[qv]) {
+          seen_[qv] = 1;
+          to_clear.push_back(qv);
+          level0_vars.push_back(qv);
+        }
+      }
+    }
+  }
+
+  for (const Var v : to_clear) seen_[v] = 0;
+
+  // Backtrack level: second-highest level in the learned clause.
+  bt_level = 0;
+  if (learnt.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[learnt[i].var()] > level_[learnt[max_i].var()]) max_i = i;
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    bt_level = level_[learnt[1].var()];
+  }
+}
+
+bool Solver::litRedundant(SLit l, std::vector<SLit>& scratch) {
+  (void)scratch;
+  const ClauseId r = reason_[l.var()];
+  if (r == kNoClause) return false;
+  for (const SLit q : clauseLits(r)) {
+    if (q == ~l) continue;
+    const Var v = q.var();
+    if (level_[v] == 0) continue;
+    if (!seen_[v]) return false;
+  }
+  return true;
+}
+
+void Solver::analyzeFinal(SLit p) {
+  // p is a (propagated-to-false) assumption literal; compute which earlier
+  // assumptions force ~p.
+  conflict_core_.clear();
+  conflict_core_.push_back(p);
+  if (decisionLevel() == 0) return;
+  std::vector<Var> to_clear;
+  seen_[p.var()] = 1;
+  to_clear.push_back(p.var());
+  for (std::size_t i = trail_.size(); i > trail_lim_[0];) {
+    --i;
+    const Var v = trail_[i].var();
+    if (!seen_[v]) continue;
+    if (reason_[v] == kNoClause) {
+      // Decision => an assumption. Report the assumption literal as taken.
+      if (trail_[i] != ~p) conflict_core_.push_back(trail_[i]);
+    } else {
+      for (const SLit q : clauseLits(reason_[v])) {
+        if (q.var() == v) continue;
+        if (level_[q.var()] > 0 && !seen_[q.var()]) {
+          seen_[q.var()] = 1;
+          to_clear.push_back(q.var());
+        }
+      }
+    }
+  }
+  for (const Var v : to_clear) seen_[v] = 0;
+}
+
+void Solver::deriveRootConflict(ClauseId confl) {
+  ProofChain& chain = proof_.empty_clause;
+  chain.start = confl;
+  chain.steps.clear();
+  std::vector<std::uint8_t>& seen = seen_;
+  std::vector<Var> to_clear;
+  for (const SLit q : clauseLits(confl)) {
+    ECO_CHECK(value(q) == LBool::False && level_[q.var()] == 0);
+    if (!seen[q.var()]) {
+      seen[q.var()] = 1;
+      to_clear.push_back(q.var());
+    }
+  }
+  for (std::size_t i = trail_.size(); i > 0;) {
+    --i;
+    const Var v = trail_[i].var();
+    if (!seen[v]) continue;
+    const ClauseId r = reason_[v];
+    ECO_CHECK_MSG(r != kNoClause, "root conflict literal without a reason");
+    chain.steps.push_back({v, r});
+    for (const SLit q : clauseLits(r)) {
+      if (q.var() == v) continue;
+      if (!seen[q.var()]) {
+        seen[q.var()] = 1;
+        to_clear.push_back(q.var());
+      }
+    }
+  }
+  for (const Var v : to_clear) seen[v] = 0;
+  proof_.has_empty_clause = true;
+}
+
+// --- decision heap -------------------------------------------------------------
+
+void Solver::heapInsert(Var v) {
+  heap_pos_[v] = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(v);
+  heapPercolateUp(heap_pos_[v]);
+}
+
+Var Solver::heapPop() {
+  const Var top = heap_[0];
+  heap_pos_[top] = kNotInHeap;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[heap_[0]] = 0;
+    heapPercolateDown(0);
+  }
+  return top;
+}
+
+void Solver::heapDecrease(Var v) { heapPercolateUp(heap_pos_[v]); }
+
+void Solver::heapPercolateUp(std::uint32_t i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const std::uint32_t parent = (i - 1) >> 1;
+    if (activity_[heap_[parent]] >= activity_[v]) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = i;
+}
+
+void Solver::heapPercolateDown(std::uint32_t i) {
+  const Var v = heap_[i];
+  const auto n = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    std::uint32_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+      ++child;
+    }
+    if (activity_[heap_[child]] <= activity_[v]) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = i;
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = i;
+}
+
+Var Solver::pickBranchVar() {
+  while (!heap_.empty()) {
+    const Var v = heapPop();
+    if (value(v) == LBool::Undef) return v;
+  }
+  return static_cast<Var>(kNotInHeap);
+}
+
+// --- clause database reduction ----------------------------------------------
+
+void Solver::reduceDb() {
+  // Keep roughly half of the learned clauses, preferring active ones.
+  std::vector<ClauseId> learned;
+  for (ClauseId id = 0; id < clauses_.size(); ++id) {
+    const Clause& c = clauses_[id];
+    if (!c.learned || c.deleted || c.size <= 2) continue;
+    // Locked clauses (reason of a current assignment) must stay.
+    const SLit first = lit_pool_[c.begin];
+    if (value(first) == LBool::True && reason_[first.var()] == id) continue;
+    learned.push_back(id);
+  }
+  std::sort(learned.begin(), learned.end(), [&](ClauseId a, ClauseId b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  const std::size_t n_remove = learned.size() / 2;
+  for (std::size_t i = 0; i < n_remove; ++i) removeClause(learned[i]);
+  num_learned_ -= static_cast<std::uint32_t>(n_remove);
+}
+
+// --- search --------------------------------------------------------------------
+
+Status Solver::search() {
+  std::uint64_t restart_conflicts = 0;
+  std::uint64_t restart_limit = 128 * luby(0);
+  std::uint64_t restart_round = 0;
+  std::vector<SLit> learnt;
+
+  for (;;) {
+    const ClauseId confl = propagate();
+    if (confl != kNoClause) {
+      ++stats_conflicts_;
+      ++restart_conflicts;
+      if (decisionLevel() == 0) {
+        if (log_proof_) deriveRootConflict(confl);
+        ok_ = false;
+        conflict_core_.clear();
+        return Status::Unsat;
+      }
+      std::uint32_t bt_level = 0;
+      ProofChain chain;
+      analyze(confl, learnt, bt_level, chain);
+      cancelUntil(bt_level);
+      if (learnt.size() == 1) {
+        const ClauseId id = allocClause(learnt, /*learned=*/true);
+        if (log_proof_) proof_.chains[id] = std::move(chain);
+        cancelUntil(0);
+        if (value(learnt[0]) == LBool::Undef) enqueue(learnt[0], id);
+      } else {
+        const ClauseId id = allocClause(learnt, /*learned=*/true);
+        if (log_proof_) proof_.chains[id] = std::move(chain);
+        attachClause(id);
+        bumpClause(id);
+        ++num_learned_;
+        enqueue(learnt[0], id);
+      }
+      decayVarActivities();
+      clause_inc_ /= kClauseDecay;
+      if (conflict_budget_ >= 0 &&
+          stats_conflicts_ - solve_start_conflicts_ >=
+              static_cast<std::uint64_t>(conflict_budget_)) {
+        cancelUntil(0);
+        return Status::Undef;
+      }
+      if (restart_conflicts >= restart_limit) {
+        restart_conflicts = 0;
+        restart_limit = 128 * luby(++restart_round);
+        cancelUntil(0);
+      }
+      continue;
+    }
+
+    if (!log_proof_ && num_learned_ >= max_learned_) {
+      reduceDb();
+      max_learned_ += max_learned_ / 10;
+    }
+
+    // Establish assumptions, then decide.
+    SLit next;
+    while (decisionLevel() < assumptions_.size()) {
+      const SLit p = assumptions_[decisionLevel()];
+      if (value(p) == LBool::True) {
+        trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+      } else if (value(p) == LBool::False) {
+        analyzeFinal(p);
+        return Status::Unsat;
+      } else {
+        next = p;
+        break;
+      }
+    }
+    if (!next.defined()) {
+      const Var v = pickBranchVar();
+      if (v == static_cast<Var>(kNotInHeap)) {
+        // All variables assigned: a model.
+        model_ = assigns_;
+        return Status::Sat;
+      }
+      ++stats_decisions_;
+      next = SLit::make(v, polarity_[v]);
+    }
+    trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    enqueue(next, kNoClause);
+  }
+}
+
+Status Solver::solve(std::span<const SLit> assumptions) {
+  ECO_CHECK_MSG(!log_proof_ || assumptions.empty(),
+                "proof logging supports assumption-free solving only");
+  conflict_core_.clear();
+  if (!ok_) return Status::Unsat;
+  solve_start_conflicts_ = stats_conflicts_;
+  assumptions_.assign(assumptions.begin(), assumptions.end());
+  const Status result = search();
+  cancelUntil(0);
+  assumptions_.clear();
+  return result;
+}
+
+}  // namespace eco::sat

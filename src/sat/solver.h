@@ -1,0 +1,181 @@
+#pragma once
+// CDCL SAT solver in the MiniSat lineage.
+//
+// Features: two-literal watching, VSIDS decision heuristic with phase
+// saving, Luby restarts, first-UIP clause learning with cheap
+// self-subsumption minimization, activity-based learned-clause deletion,
+// incremental solving under unit assumptions with final-conflict
+// (unsat-core) extraction, and optional resolution proof logging for
+// Craig interpolation.
+//
+// Proof logging keeps every clause alive (no database reduction) and is
+// restricted to assumption-free solving; interpolation queries in this
+// library are always fresh, assumption-free solves.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/proof.h"
+#include "sat/types.h"
+
+namespace eco::sat {
+
+enum class Status { Sat, Unsat, Undef };
+
+class Solver {
+ public:
+  explicit Solver(bool log_proof = false);
+
+  // --- problem construction ----------------------------------------------
+
+  Var newVar();
+  std::uint32_t numVars() const { return static_cast<std::uint32_t>(assigns_.size()); }
+
+  /// Adds a clause. Returns its id, or kNoClause if the clause was dropped
+  /// as satisfied/tautological. Marks the solver unsatisfiable if the
+  /// clause is empty or falsified at the root level.
+  ClauseId addClause(std::span<const SLit> lits);
+  ClauseId addClause(std::initializer_list<SLit> lits) {
+    return addClause(std::span<const SLit>(lits.begin(), lits.size()));
+  }
+
+  // --- solving -------------------------------------------------------------
+
+  Status solve(std::span<const SLit> assumptions = {});
+  Status solve(std::initializer_list<SLit> assumptions) {
+    return solve(std::span<const SLit>(assumptions.begin(), assumptions.size()));
+  }
+
+  /// Conflict budget for each subsequent solve() call (relative to the
+  /// call's start); negative means unlimited. An exceeded budget makes
+  /// solve() return Undef.
+  void setConflictBudget(std::int64_t conflicts) { conflict_budget_ = conflicts; }
+
+  // --- results --------------------------------------------------------------
+
+  /// Model value after a Sat answer.
+  LBool modelValue(SLit l) const { return model_[l.var()] ^ l.sign(); }
+  LBool modelValue(Var v) const { return model_[v]; }
+
+  /// After an Unsat answer under assumptions: the subset of assumptions
+  /// (as passed in) that was used to derive the conflict.
+  const std::vector<SLit>& failedAssumptions() const { return conflict_core_; }
+
+  /// Resolution proof (only meaningful when constructed with log_proof and
+  /// after an assumption-free Unsat answer).
+  const Proof& proof() const { return proof_; }
+
+  /// Literals of a clause by id (for proof replay).
+  std::span<const SLit> clauseLits(ClauseId id) const {
+    const Clause& c = clauses_[id];
+    return std::span<const SLit>(lit_pool_.data() + c.begin, c.size);
+  }
+
+  // --- statistics ------------------------------------------------------------
+
+  std::uint64_t numConflicts() const { return stats_conflicts_; }
+  std::uint64_t numDecisions() const { return stats_decisions_; }
+  std::uint64_t numPropagations() const { return stats_propagations_; }
+
+ private:
+  struct Clause {
+    std::uint32_t begin = 0;  ///< offset into lit_pool_
+    std::uint32_t size = 0;
+    float activity = 0;
+    bool learned = false;
+    bool deleted = false;
+  };
+
+  struct Watcher {
+    ClauseId clause;
+    SLit blocker;
+  };
+
+  // assignment & trail
+  LBool value(SLit l) const { return assigns_[l.var()] ^ l.sign(); }
+  LBool value(Var v) const { return assigns_[v]; }
+  std::uint32_t decisionLevel() const {
+    return static_cast<std::uint32_t>(trail_lim_.size());
+  }
+  void enqueue(SLit l, ClauseId reason);
+  ClauseId propagate();
+  void cancelUntil(std::uint32_t level);
+
+  // clause management
+  ClauseId allocClause(std::span<const SLit> lits, bool learned);
+  void attachClause(ClauseId id);
+  void detachClause(ClauseId id);
+  void removeClause(ClauseId id);
+  void reduceDb();
+  void bumpClause(ClauseId id);
+
+  // conflict analysis
+  void analyze(ClauseId confl, std::vector<SLit>& learnt, std::uint32_t& bt_level,
+               ProofChain& chain);
+  bool litRedundant(SLit l, std::vector<SLit>& scratch);
+  void analyzeFinal(SLit p);
+  /// Resolves away all remaining (root-level) literals of `confl`,
+  /// producing the empty-clause chain.
+  void deriveRootConflict(ClauseId confl);
+
+  // decisions
+  void bumpVar(Var v);
+  void decayVarActivities();
+  Var pickBranchVar();
+  void heapInsert(Var v);
+  Var heapPop();
+  void heapDecrease(Var v);
+  void heapPercolateUp(std::uint32_t i);
+  void heapPercolateDown(std::uint32_t i);
+  bool heapContains(Var v) const { return heap_pos_[v] != kNotInHeap; }
+
+  Status search();
+
+  // data
+  std::vector<SLit> lit_pool_;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  ///< indexed by literal index
+
+  std::vector<LBool> assigns_;
+  std::vector<LBool> model_;
+  std::vector<bool> polarity_;  ///< saved phases (true = last value was false)
+  std::vector<std::uint32_t> level_;
+  std::vector<ClauseId> reason_;
+  std::vector<std::uint32_t> trail_pos_;
+  std::vector<SLit> trail_;
+  std::vector<std::uint32_t> trail_lim_;
+  std::uint32_t qhead_ = 0;
+
+  // VSIDS heap
+  std::vector<double> activity_;
+  std::vector<Var> heap_;
+  std::vector<std::uint32_t> heap_pos_;
+  static constexpr std::uint32_t kNotInHeap = 0xFFFFFFFFu;
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+
+  // assumptions & core
+  std::vector<SLit> assumptions_;
+  std::vector<SLit> conflict_core_;
+
+  // proof
+  bool log_proof_ = false;
+  Proof proof_;
+
+  // scratch for analyze
+  std::vector<std::uint8_t> seen_;
+  std::vector<ProofChain::Step> level0_steps_;
+
+  bool ok_ = true;
+  std::int64_t conflict_budget_ = -1;
+  std::uint64_t solve_start_conflicts_ = 0;
+  std::uint64_t stats_conflicts_ = 0;
+  std::uint64_t stats_decisions_ = 0;
+  std::uint64_t stats_propagations_ = 0;
+  std::uint64_t learned_since_reduce_ = 0;
+  std::uint32_t num_learned_ = 0;
+  std::uint32_t max_learned_ = 8192;
+};
+
+}  // namespace eco::sat

@@ -1,0 +1,47 @@
+#pragma once
+// Core SAT solver value types: variables, literals, and the three-valued
+// logic used for assignments and model values.
+
+#include <cstdint>
+#include <vector>
+
+namespace eco::sat {
+
+using Var = std::uint32_t;
+
+/// Solver literal: (var << 1) | sign, sign meaning negation.
+class SLit {
+ public:
+  constexpr SLit() : x_(kUndefValue) {}
+  constexpr static SLit make(Var v, bool sign) {
+    return SLit((v << 1) | (sign ? 1u : 0u));
+  }
+  constexpr Var var() const { return x_ >> 1; }
+  constexpr bool sign() const { return (x_ & 1u) != 0; }
+  constexpr std::uint32_t index() const { return x_; }
+  constexpr bool defined() const { return x_ != kUndefValue; }
+  constexpr SLit operator~() const { return SLit(x_ ^ 1u); }
+
+  friend constexpr bool operator==(SLit a, SLit b) { return a.x_ == b.x_; }
+  friend constexpr bool operator!=(SLit a, SLit b) { return a.x_ != b.x_; }
+  friend constexpr bool operator<(SLit a, SLit b) { return a.x_ < b.x_; }
+
+ private:
+  constexpr explicit SLit(std::uint32_t x) : x_(x) {}
+  static constexpr std::uint32_t kUndefValue = 0xFFFFFFFFu;
+  std::uint32_t x_;
+};
+
+/// Three-valued logic.
+enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+inline LBool lboolOf(bool b) { return b ? LBool::True : LBool::False; }
+inline LBool operator^(LBool v, bool sign) {
+  if (v == LBool::Undef) return v;
+  return lboolOf((v == LBool::True) != sign);
+}
+
+using ClauseId = std::uint32_t;
+inline constexpr ClauseId kNoClause = 0xFFFFFFFFu;
+
+}  // namespace eco::sat

@@ -1,0 +1,49 @@
+#include "sim/sim.h"
+
+#include "base/check.h"
+
+namespace eco::sim {
+
+void PatternSet::randomize(Rng& rng) {
+  for (auto& w : data_) w = rng.next();
+}
+
+void PatternSet::setBit(std::uint32_t signal, std::uint32_t bit, bool value) {
+  ECO_CHECK(bit / 64 < words_);
+  std::uint64_t& w = of(signal)[bit / 64];
+  const std::uint64_t mask = std::uint64_t{1} << (bit % 64);
+  if (value) {
+    w |= mask;
+  } else {
+    w &= ~mask;
+  }
+}
+
+PatternSet simulateAll(const Aig& aig, const PatternSet& pi_patterns) {
+  const std::uint32_t W = pi_patterns.wordsPerSignal();
+  PatternSet values(aig.numNodes(), W);
+  for (std::uint32_t var = 1; var < aig.numNodes(); ++var) {
+    auto out = values.of(var);
+    if (aig.isPi(var)) {
+      const auto in = pi_patterns.of(aig.piIndex(var));
+      for (std::uint32_t w = 0; w < W; ++w) out[w] = in[w];
+      continue;
+    }
+    const Lit f0 = aig.fanin0(var);
+    const Lit f1 = aig.fanin1(var);
+    const auto a = values.of(f0.var());
+    const auto b = values.of(f1.var());
+    const std::uint64_t ma = f0.complemented() ? ~std::uint64_t{0} : 0;
+    const std::uint64_t mb = f1.complemented() ? ~std::uint64_t{0} : 0;
+    for (std::uint32_t w = 0; w < W; ++w) out[w] = (a[w] ^ ma) & (b[w] ^ mb);
+  }
+  return values;
+}
+
+void litValues(const PatternSet& node_values, Lit l, std::span<std::uint64_t> out) {
+  const auto v = node_values.of(l.var());
+  const std::uint64_t m = l.complemented() ? ~std::uint64_t{0} : 0;
+  for (std::size_t w = 0; w < out.size(); ++w) out[w] = v[w] ^ m;
+}
+
+}  // namespace eco::sim

@@ -1,0 +1,49 @@
+#pragma once
+// Bit-parallel circuit simulation.
+//
+// Signals are simulated 64 patterns at a time. Used for FRAIG candidate
+// equivalence detection, counterexample-guided class refinement, and as a
+// fast sanity oracle in tests.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aig/aig.h"
+#include "base/rng.h"
+
+namespace eco::sim {
+
+/// Word-parallel pattern set: `words` 64-bit words per signal.
+class PatternSet {
+ public:
+  PatternSet(std::uint32_t num_signals, std::uint32_t words)
+      : words_(words), data_(static_cast<std::size_t>(num_signals) * words, 0) {}
+
+  std::uint32_t wordsPerSignal() const { return words_; }
+  std::span<std::uint64_t> of(std::uint32_t signal) {
+    return {data_.data() + static_cast<std::size_t>(signal) * words_, words_};
+  }
+  std::span<const std::uint64_t> of(std::uint32_t signal) const {
+    return {data_.data() + static_cast<std::size_t>(signal) * words_, words_};
+  }
+
+  void randomize(Rng& rng);
+
+  /// Sets pattern bit `bit` of `signal`.
+  void setBit(std::uint32_t signal, std::uint32_t bit, bool value);
+
+ private:
+  std::uint32_t words_;
+  std::vector<std::uint64_t> data_;
+};
+
+/// Simulates all nodes of `aig` under PI patterns `pi_patterns` (one row per
+/// PI, in PI order). Returns per-node values (row per AIG variable,
+/// constant node = all zero).
+PatternSet simulateAll(const Aig& aig, const PatternSet& pi_patterns);
+
+/// Value words of a literal given node values.
+void litValues(const PatternSet& node_values, Lit l, std::span<std::uint64_t> out);
+
+}  // namespace eco::sim

@@ -1,0 +1,141 @@
+#include "techmap/library.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace eco::techmap {
+namespace {
+
+TruthTable evalOverLeaves(const Cell& cell, const std::uint8_t perm[4],
+                          std::uint8_t input_inverted) {
+  const std::uint32_t k = cell.num_inputs;
+  TruthTable out = 0;
+  for (std::uint32_t m = 0; m < (1u << k); ++m) {
+    std::uint32_t cell_idx = 0;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      bool v = (m >> perm[i]) & 1;           // leaf value feeding input i
+      if ((input_inverted >> i) & 1) v = !v;  // through an inverter
+      if (v) cell_idx |= 1u << i;
+    }
+    if ((cell.function >> cell_idx) & 1) out |= static_cast<TruthTable>(1u << m);
+  }
+  return out;
+}
+
+std::uint32_t keyOf(std::uint32_t k, TruthTable tt) {
+  return (k << 16) | tt;
+}
+
+}  // namespace
+
+CellLibrary::CellLibrary(std::string name, std::vector<Cell> cells)
+    : name_(std::move(name)), cells_(std::move(cells)) {
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    const Cell& c = cells_[i];
+    if (c.num_inputs == 1 && c.function == 0b01) inverter_cell_ = i;
+    if (c.num_inputs == 0 && c.function == 0b0) tie0_cell_ = i;
+    if (c.num_inputs == 0 && c.function == 0b1) tie1_cell_ = i;
+  }
+  inverter_area_ = cells_[inverter_cell_].area;
+  expandMatches();
+}
+
+void CellLibrary::expandMatches() {
+  const auto invCount = [](const Match& m) {
+    return __builtin_popcount(m.input_inverted) + (m.output_inverted ? 1 : 0);
+  };
+  const auto consider = [&](std::uint32_t k, TruthTable tt, const Match& m) {
+    const std::uint32_t key = keyOf(k, tt);
+    const auto it = match_of_.find(key);
+    // Prefer smaller area; on ties prefer the realization with fewer
+    // inverters (fewer gate instances).
+    if (it == match_of_.end() || m.total_area < it->second.total_area ||
+        (m.total_area == it->second.total_area &&
+         invCount(m) < invCount(it->second))) {
+      match_of_[key] = m;
+    }
+  };
+  for (std::uint32_t ci = 0; ci < cells_.size(); ++ci) {
+    const Cell& c = cells_[ci];
+    const std::uint32_t k = c.num_inputs;
+    if (k == 0 || k > 4) continue;
+    std::uint8_t perm[4] = {0, 1, 2, 3};
+    std::vector<std::uint8_t> p(perm, perm + k);
+    std::sort(p.begin(), p.end());
+    do {
+      for (std::uint8_t inv = 0; inv < (1u << k); ++inv) {
+        std::uint8_t pp[4] = {0, 1, 2, 3};
+        for (std::uint32_t i = 0; i < k; ++i) pp[i] = p[i];
+        const TruthTable tt = evalOverLeaves(c, pp, inv);
+        Match m;
+        m.cell = ci;
+        for (std::uint32_t i = 0; i < 4; ++i) m.perm[i] = pp[i];
+        m.input_inverted = inv;
+        m.output_inverted = false;
+        m.total_area =
+            c.area + inverter_area_ * static_cast<double>(__builtin_popcount(inv));
+        consider(k, tt, m);
+        Match mo = m;
+        mo.output_inverted = true;
+        mo.total_area += inverter_area_;
+        consider(k, static_cast<TruthTable>(~tt & ttMask(k)), mo);
+      }
+    } while (std::next_permutation(p.begin(), p.end()));
+  }
+}
+
+std::optional<Match> CellLibrary::matchFunction(std::uint32_t k,
+                                                TruthTable tt) const {
+  const auto it = match_of_.find(keyOf(k, tt));
+  if (it == match_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+CellLibrary CellLibrary::standard() {
+  std::vector<Cell> cells;
+  const auto add = [&](const char* name, std::uint32_t k, TruthTable f,
+                       double area) {
+    cells.push_back(Cell{name, k, static_cast<TruthTable>(f & ttMask(k)), area});
+  };
+  const TruthTable a = ttVar(0), b = ttVar(1), c = ttVar(2), d = ttVar(3);
+  add("TIE0", 0, 0b0, 0.5);
+  add("TIE1", 0, 0b1, 0.5);
+  add("INV", 1, 0b01, 1);
+  add("BUF", 1, 0b10, 1.5);
+  add("NAND2", 2, ~(a & b), 2);
+  add("NOR2", 2, ~(a | b), 2);
+  add("AND2", 2, a & b, 3);
+  add("OR2", 2, a | b, 3);
+  add("XOR2", 2, a ^ b, 5);
+  add("XNOR2", 2, ~(a ^ b), 5);
+  add("NAND3", 3, ~(a & b & c), 3);
+  add("NOR3", 3, ~(a | b | c), 3);
+  add("AND3", 3, a & b & c, 4);
+  add("OR3", 3, a | b | c, 4);
+  add("AOI21", 3, ~((a & b) | c), 3);
+  add("OAI21", 3, ~((a | b) & c), 3);
+  add("MUX21", 3, (c & a) | (~c & b), 6);  // c ? a : b
+  add("MAJ3", 3, (a & b) | (a & c) | (b & c), 7);
+  add("XOR3", 3, a ^ b ^ c, 9);
+  add("NAND4", 4, ~(a & b & c & d), 4);
+  add("NOR4", 4, ~(a | b | c | d), 4);
+  add("AND4", 4, a & b & c & d, 5);
+  add("OR4", 4, a | b | c | d, 5);
+  add("AOI22", 4, ~((a & b) | (c & d)), 4);
+  add("OAI22", 4, ~((a | b) & (c | d)), 4);
+  return CellLibrary("generic", std::move(cells));
+}
+
+CellLibrary CellLibrary::nand2Only() {
+  std::vector<Cell> cells;
+  const TruthTable a = ttVar(0), b = ttVar(1);
+  cells.push_back(Cell{"TIE0", 0, 0b0, 0.5});
+  cells.push_back(Cell{"TIE1", 0, 0b1, 0.5});
+  cells.push_back(Cell{"INV", 1, 0b01, 1});
+  cells.push_back(
+      Cell{"NAND2", 2, static_cast<TruthTable>(~(a & b) & ttMask(2)), 2});
+  return CellLibrary("nand2", std::move(cells));
+}
+
+}  // namespace eco::techmap

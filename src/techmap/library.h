@@ -1,0 +1,91 @@
+#pragma once
+// Standard-cell library model for technology mapping.
+//
+// A cell is a named k-input (k <= 4) single-output function with an area.
+// The library pre-expands every cell under all input permutations and input
+// complementations (NP-matching), so the mapper can look up an arbitrary
+// cut function and receive the cheapest realization: cell + inverters on
+// selected inputs (+ optionally one on the output).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace eco::techmap {
+
+/// Truth table over up to 4 variables, stored in the low 2^k bits.
+using TruthTable = std::uint16_t;
+
+inline TruthTable ttMask(std::uint32_t k) {
+  return static_cast<TruthTable>((1u << (1u << k)) - 1u);
+}
+
+/// Canonical input projections: tt of variable i as a function of k vars.
+inline TruthTable ttVar(std::uint32_t i) {
+  static constexpr TruthTable kProj[4] = {0xAAAA, 0xCCCC, 0xF0F0, 0xFF00};
+  return kProj[i];
+}
+
+struct Cell {
+  std::string name;
+  std::uint32_t num_inputs = 0;
+  TruthTable function = 0;  ///< over inputs x0..x{k-1}, low 2^k bits
+  double area = 0;
+};
+
+/// How a cut function is realized: `cell` with its inputs permuted by
+/// `perm` (cell input i is driven by cut leaf perm[i]), inverters on the
+/// leaves in `input_inverted`, and optionally an inverter on the output.
+struct Match {
+  std::uint32_t cell = 0;
+  std::uint8_t perm[4] = {0, 1, 2, 3};
+  std::uint8_t input_inverted = 0;  ///< bitmask over *cell* input positions
+  bool output_inverted = false;
+  double total_area = 0;  ///< cell + inverter estimate
+};
+
+class CellLibrary {
+ public:
+  /// A representative generic library: INV/BUF, 2-4 input
+  /// NAND/NOR/AND/OR, XOR2/XNOR2, MUX21, AOI21/OAI21, MAJ3, TIE cells.
+  static CellLibrary standard();
+
+  /// An intentionally poor library (INV/NAND2 only) for ablation.
+  static CellLibrary nand2Only();
+
+  /// Empty library (placeholder for default-constructed netlists).
+  CellLibrary() = default;
+
+  CellLibrary(std::string name, std::vector<Cell> cells);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Cell>& cells() const { return cells_; }
+  const Cell& cell(std::uint32_t i) const { return cells_[i]; }
+
+  double inverterArea() const { return inverter_area_; }
+  std::uint32_t inverterCell() const { return inverter_cell_; }
+  std::uint32_t tieCell(bool value) const {
+    return value ? tie1_cell_ : tie0_cell_;
+  }
+
+  /// Cheapest realization of a k-leaf cut function, or nullopt when no
+  /// cell family covers it (callers fall back to smaller cuts; the
+  /// standard library covers every 1- and 2-input function).
+  std::optional<Match> matchFunction(std::uint32_t k, TruthTable tt) const;
+
+ private:
+  void expandMatches();
+
+  std::string name_;
+  std::vector<Cell> cells_;
+  double inverter_area_ = 1;
+  std::uint32_t inverter_cell_ = 0;
+  std::uint32_t tie0_cell_ = 0;
+  std::uint32_t tie1_cell_ = 0;
+  /// (k << 16 | tt) -> best match
+  std::unordered_map<std::uint32_t, Match> match_of_;
+};
+
+}  // namespace eco::techmap

@@ -1,0 +1,355 @@
+#include "techmap/mapper.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "aig/aig_ops.h"
+#include "base/check.h"
+
+namespace eco::techmap {
+namespace {
+
+using Cut = std::vector<std::uint32_t>;  ///< sorted leaf variables
+
+/// Merges two cuts; returns empty when the union exceeds k.
+Cut mergeCuts(const Cut& a, const Cut& b, std::uint32_t k) {
+  Cut out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    std::uint32_t next;
+    if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
+      next = a[i];
+      if (j < b.size() && b[j] == next) ++j;
+      ++i;
+    } else {
+      next = b[j];
+      ++j;
+    }
+    out.push_back(next);
+    if (out.size() > k) return {};
+  }
+  return out;
+}
+
+/// Truth table of `root_var`'s cone over the cut leaves.
+TruthTable cutFunction(const Aig& aig, std::uint32_t root_var, const Cut& cut) {
+  std::unordered_map<std::uint32_t, TruthTable> tt;
+  tt[0] = 0;
+  for (std::size_t i = 0; i < cut.size(); ++i) tt[cut[i]] = ttVar(i);
+  const TruthTable mask = ttMask(static_cast<std::uint32_t>(cut.size()));
+
+  std::vector<std::uint32_t> stack{root_var};
+  while (!stack.empty()) {
+    const std::uint32_t v = stack.back();
+    if (tt.count(v) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    ECO_CHECK_MSG(aig.isAnd(v), "cut function cone escaped the cut");
+    const Lit f0 = aig.fanin0(v);
+    const Lit f1 = aig.fanin1(v);
+    const bool need0 = tt.count(f0.var()) == 0;
+    const bool need1 = tt.count(f1.var()) == 0;
+    if (need0) stack.push_back(f0.var());
+    if (need1) stack.push_back(f1.var());
+    if (need0 || need1) continue;
+    stack.pop_back();
+    TruthTable a = tt.at(f0.var());
+    if (f0.complemented()) a = static_cast<TruthTable>(~a);
+    TruthTable b = tt.at(f1.var());
+    if (f1.complemented()) b = static_cast<TruthTable>(~b);
+    tt[v] = static_cast<TruthTable>(a & b & mask);
+  }
+  return static_cast<TruthTable>(tt.at(root_var) & mask);
+}
+
+struct NodeChoice {
+  Cut cut;
+  Match match;
+  double area_est = std::numeric_limits<double>::infinity();
+  /// Realize as an inverter on the node's other phase instead of a cell.
+  bool from_other_phase = false;
+};
+
+}  // namespace
+
+double MappedNetlist::area() const {
+  double total = 0;
+  for (const MappedGate& g : gates) total += library.cell(g.cell).area;
+  return total;
+}
+
+Aig MappedNetlist::toAig() const {
+  Aig aig;
+  std::vector<Lit> net(num_inputs + gates.size() + 2, Lit());
+  for (std::uint32_t i = 0; i < num_inputs; ++i) {
+    net[i] = aig.addPi(i < input_names.size() ? input_names[i] : "");
+  }
+  for (const MappedGate& g : gates) {
+    const Cell& c = library.cell(g.cell);
+    // OR of minterms of the cell truth table.
+    Lit out = kFalse;
+    if (c.num_inputs == 0) {
+      out = (c.function & 1) ? kTrue : kFalse;
+    } else {
+      for (std::uint32_t m = 0; m < (1u << c.num_inputs); ++m) {
+        if (((c.function >> m) & 1) == 0) continue;
+        Lit minterm = kTrue;
+        for (std::uint32_t i = 0; i < c.num_inputs; ++i) {
+          const Lit in = net[g.inputs[i]];
+          ECO_CHECK_MSG(in.valid(), "mapped gate uses an undefined net");
+          minterm = aig.addAnd(minterm, in ^ (((m >> i) & 1) == 0));
+        }
+        out = aig.mkOr(out, minterm);
+      }
+    }
+    if (g.output >= net.size()) net.resize(g.output + 1, Lit());
+    net[g.output] = out;
+  }
+  for (std::size_t j = 0; j < outputs.size(); ++j) {
+    const Lit d = net[outputs[j]];
+    ECO_CHECK_MSG(d.valid(), "mapped output net undefined");
+    aig.addPo(d, j < output_names.size() ? output_names[j] : "");
+  }
+  return aig;
+}
+
+MappedNetlist mapAig(const Aig& aig, const CellLibrary& library,
+                     const MapOptions& options) {
+  const std::uint32_t k = std::min<std::uint32_t>(4, std::max<std::uint32_t>(2, options.cut_size));
+
+  std::vector<Lit> roots;
+  for (std::uint32_t j = 0; j < aig.numPos(); ++j) roots.push_back(aig.poDriver(j));
+  const std::vector<std::uint32_t> cone = collectCone(aig, roots);
+
+  // --- cut enumeration + two-phase area DP (one topological pass) ---------
+  // Each node is costed in both output phases; a phase may be realized
+  // directly by a matching cell or as an inverter on the other phase.
+  const double inv_area = library.inverterArea();
+  std::vector<std::vector<Cut>> cuts(aig.numNodes());
+  std::vector<std::array<NodeChoice, 2>> choice(aig.numNodes());
+  std::vector<std::array<double, 2>> area_est(
+      aig.numNodes(), {std::numeric_limits<double>::infinity(),
+                       std::numeric_limits<double>::infinity()});
+
+  for (const std::uint32_t v : cone) {
+    if (aig.isPi(v)) {
+      cuts[v] = {{v}};
+      area_est[v] = {0, inv_area};
+      choice[v][1].from_other_phase = true;
+      continue;
+    }
+    const std::uint32_t a = aig.fanin0(v).var();
+    const std::uint32_t b = aig.fanin1(v).var();
+    std::vector<Cut> enumerated;
+    for (const Cut& ca : cuts[a]) {
+      for (const Cut& cb : cuts[b]) {
+        Cut merged = mergeCuts(ca, cb, k);
+        if (!merged.empty()) enumerated.push_back(std::move(merged));
+      }
+    }
+    std::sort(enumerated.begin(), enumerated.end(),
+              [](const Cut& x, const Cut& y) {
+                return x.size() != y.size() ? x.size() < y.size() : x < y;
+              });
+    enumerated.erase(std::unique(enumerated.begin(), enumerated.end()),
+                     enumerated.end());
+    if (enumerated.size() > options.cuts_per_node) {
+      enumerated.resize(options.cuts_per_node);
+    }
+
+    for (const Cut& cut : enumerated) {
+      const std::uint32_t ck = static_cast<std::uint32_t>(cut.size());
+      const TruthTable tt = cutFunction(aig, v, cut);
+      for (int phase = 0; phase < 2; ++phase) {
+        const TruthTable want =
+            phase == 0 ? tt : static_cast<TruthTable>(~tt & ttMask(ck));
+        const auto match = library.matchFunction(ck, want);
+        if (!match) continue;
+        const Cell& cell = library.cell(match->cell);
+        double cost = cell.area + (match->output_inverted ? inv_area : 0);
+        for (std::uint32_t i = 0; i < cell.num_inputs; ++i) {
+          const std::uint32_t leaf = cut[match->perm[i]];
+          if ((match->input_inverted >> i) & 1) {
+            cost += std::min(area_est[leaf][1], area_est[leaf][0] + inv_area);
+          } else {
+            cost += area_est[leaf][0];
+          }
+        }
+        if (cost < area_est[v][phase]) {
+          area_est[v][phase] = cost;
+          choice[v][phase] =
+              NodeChoice{cut, *match, cost, /*from_other_phase=*/false};
+        }
+      }
+    }
+    // Cross-phase realization: the other phase plus one inverter.
+    for (int phase = 0; phase < 2; ++phase) {
+      const double via_inv = area_est[v][1 - phase] + inv_area;
+      if (via_inv < area_est[v][phase]) {
+        area_est[v][phase] = via_inv;
+        choice[v][phase] = NodeChoice{{}, {}, via_inv, true};
+      }
+    }
+    ECO_CHECK_MSG(area_est[v][0] < std::numeric_limits<double>::infinity() &&
+                      area_est[v][1] < std::numeric_limits<double>::infinity(),
+                  "library cannot realize a 2-input function");
+    // The node's own cuts for parents: trivial cut + enumerated ones.
+    enumerated.insert(enumerated.begin(), Cut{v});
+    if (enumerated.size() > options.cuts_per_node + 1) {
+      enumerated.resize(options.cuts_per_node + 1);
+    }
+    cuts[v] = std::move(enumerated);
+  }
+
+  // --- cover extraction ------------------------------------------------------
+  MappedNetlist out;
+  out.library = library;
+  out.num_inputs = aig.numPis();
+  for (std::uint32_t i = 0; i < aig.numPis(); ++i) {
+    out.input_names.push_back(aig.piName(i));
+  }
+  std::uint32_t next_net = aig.numPis();
+  // Realized net per (node, phase); PIs are pre-realized in phase 0.
+  std::unordered_map<std::uint64_t, std::uint32_t> net_of;
+  const auto keyOf = [](std::uint32_t v, int phase) {
+    return (static_cast<std::uint64_t>(v) << 1) | static_cast<std::uint32_t>(phase);
+  };
+  for (std::uint32_t i = 0; i < aig.numPis(); ++i) {
+    net_of[keyOf(aig.piVar(i), 0)] = i;
+  }
+  const auto emitInverter = [&](std::uint32_t in_net) {
+    MappedGate inv;
+    inv.cell = library.inverterCell();
+    inv.inputs = {in_net};
+    inv.output = next_net++;
+    out.gates.push_back(inv);
+    return inv.output;
+  };
+
+  // Iterative post-order over the chosen cover, per (node, phase).
+  const auto realize = [&](std::uint32_t root, int root_phase) -> std::uint32_t {
+    std::vector<std::pair<std::uint32_t, int>> stack{{root, root_phase}};
+    while (!stack.empty()) {
+      const auto [v, phase] = stack.back();
+      if (net_of.count(keyOf(v, phase)) != 0) {
+        stack.pop_back();
+        continue;
+      }
+      if (aig.isPi(v)) {
+        // Only phase 1 can be missing for a PI.
+        net_of[keyOf(v, 1)] = emitInverter(net_of.at(keyOf(v, 0)));
+        stack.pop_back();
+        continue;
+      }
+      const NodeChoice& ch = choice[v][phase];
+      if (ch.from_other_phase) {
+        const auto other = net_of.find(keyOf(v, 1 - phase));
+        if (other == net_of.end()) {
+          stack.push_back({v, 1 - phase});
+          continue;
+        }
+        net_of[keyOf(v, phase)] = emitInverter(other->second);
+        stack.pop_back();
+        continue;
+      }
+      const Cell& cell = library.cell(ch.match.cell);
+      bool ready = true;
+      for (std::uint32_t i = 0; i < cell.num_inputs; ++i) {
+        const std::uint32_t leaf = ch.cut[ch.match.perm[i]];
+        const int leaf_phase = (ch.match.input_inverted >> i) & 1;
+        if (net_of.count(keyOf(leaf, leaf_phase)) == 0) {
+          stack.push_back({leaf, leaf_phase});
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      stack.pop_back();
+      MappedGate gate;
+      gate.cell = ch.match.cell;
+      for (std::uint32_t i = 0; i < cell.num_inputs; ++i) {
+        const std::uint32_t leaf = ch.cut[ch.match.perm[i]];
+        const int leaf_phase = (ch.match.input_inverted >> i) & 1;
+        gate.inputs.push_back(net_of.at(keyOf(leaf, leaf_phase)));
+      }
+      gate.output = next_net++;
+      out.gates.push_back(gate);
+      std::uint32_t node_net = gate.output;
+      if (ch.match.output_inverted) node_net = emitInverter(node_net);
+      net_of[keyOf(v, phase)] = node_net;
+    }
+    return net_of.at(keyOf(root, root_phase));
+  };
+
+  // Nets for (possibly complemented or constant) PO drivers.
+  const auto litNet = [&](Lit l) -> std::uint32_t {
+    if (l.var() == 0) {
+      MappedGate tie;
+      tie.cell = library.tieCell(l.complemented());
+      tie.output = next_net++;
+      out.gates.push_back(tie);
+      return tie.output;
+    }
+    return realize(l.var(), l.complemented() ? 1 : 0);
+  };
+
+  for (std::uint32_t j = 0; j < aig.numPos(); ++j) {
+    out.outputs.push_back(litNet(aig.poDriver(j)));
+    out.output_names.push_back(aig.poName(j));
+  }
+  return out;
+}
+
+std::string writeMappedVerilog(const MappedNetlist& netlist,
+                               const std::string& module_name) {
+  std::ostringstream os;
+  const auto netName = [&](std::uint32_t net) -> std::string {
+    if (net < netlist.num_inputs) {
+      const std::string& n = netlist.input_names[net];
+      return n.empty() ? "x" + std::to_string(net) : n;
+    }
+    return "w" + std::to_string(net);
+  };
+  os << "module " << module_name << " (";
+  bool first = true;
+  for (std::uint32_t i = 0; i < netlist.num_inputs; ++i) {
+    os << (first ? " " : ", ") << netName(i);
+    first = false;
+  }
+  for (std::size_t j = 0; j < netlist.outputs.size(); ++j) {
+    const std::string& n = netlist.output_names[j];
+    os << (first ? " " : ", ") << (n.empty() ? "po" + std::to_string(j) : n);
+    first = false;
+  }
+  os << " );\n";
+  for (std::uint32_t i = 0; i < netlist.num_inputs; ++i) {
+    os << "input " << netName(i) << ";\n";
+  }
+  for (std::size_t j = 0; j < netlist.outputs.size(); ++j) {
+    const std::string& n = netlist.output_names[j];
+    os << "output " << (n.empty() ? "po" + std::to_string(j) : n) << ";\n";
+  }
+  for (const MappedGate& g : netlist.gates) {
+    os << "wire " << netName(g.output) << ";\n";
+  }
+  std::uint32_t id = 0;
+  for (const MappedGate& g : netlist.gates) {
+    os << netlist.library.cell(g.cell).name << " g" << id++ << " ("
+       << netName(g.output);
+    for (const std::uint32_t in : g.inputs) os << ", " << netName(in);
+    os << ");\n";
+  }
+  for (std::size_t j = 0; j < netlist.outputs.size(); ++j) {
+    const std::string& n = netlist.output_names[j];
+    os << "assign " << (n.empty() ? "po" + std::to_string(j) : n) << " = "
+       << netName(netlist.outputs[j]) << ";\n";
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+}  // namespace eco::techmap

@@ -1,0 +1,205 @@
+// Unit tests for the AIG data structure and cone operations.
+
+#include <gtest/gtest.h>
+
+#include "aig/aig.h"
+#include "aig/aig_ops.h"
+
+namespace eco {
+namespace {
+
+TEST(Aig, ConstantsAndFolding) {
+  Aig aig;
+  const Lit a = aig.addPi("a");
+  EXPECT_EQ(aig.addAnd(a, kTrue), a);
+  EXPECT_EQ(aig.addAnd(a, kFalse), kFalse);
+  EXPECT_EQ(aig.addAnd(a, a), a);
+  EXPECT_EQ(aig.addAnd(a, !a), kFalse);
+  EXPECT_EQ(aig.addAnd(kTrue, kTrue), kTrue);
+}
+
+TEST(Aig, StructuralHashing) {
+  Aig aig;
+  const Lit a = aig.addPi("a");
+  const Lit b = aig.addPi("b");
+  const Lit n1 = aig.addAnd(a, b);
+  const Lit n2 = aig.addAnd(b, a);  // commuted
+  EXPECT_EQ(n1, n2);
+  EXPECT_EQ(aig.numAnds(), 1u);
+}
+
+TEST(Aig, EvaluateBasicGates) {
+  Aig aig;
+  const Lit a = aig.addPi("a");
+  const Lit b = aig.addPi("b");
+  aig.addPo(aig.addAnd(a, b), "and");
+  aig.addPo(aig.mkOr(a, b), "or");
+  aig.addPo(aig.mkXor(a, b), "xor");
+  aig.addPo(aig.mkEquiv(a, b), "xnor");
+  for (int av = 0; av < 2; ++av) {
+    for (int bv = 0; bv < 2; ++bv) {
+      const auto out = aig.evaluate({av != 0, bv != 0});
+      EXPECT_EQ(out[0], (av & bv) != 0);
+      EXPECT_EQ(out[1], (av | bv) != 0);
+      EXPECT_EQ(out[2], (av ^ bv) != 0);
+      EXPECT_EQ(out[3], (av ^ bv) == 0);
+    }
+  }
+}
+
+TEST(Aig, MuxSemantics) {
+  Aig aig;
+  const Lit s = aig.addPi("s");
+  const Lit t = aig.addPi("t");
+  const Lit e = aig.addPi("e");
+  aig.addPo(aig.mkMux(s, t, e), "y");
+  for (int sv = 0; sv < 2; ++sv) {
+    for (int tv = 0; tv < 2; ++tv) {
+      for (int ev = 0; ev < 2; ++ev) {
+        const auto out = aig.evaluate({sv != 0, tv != 0, ev != 0});
+        EXPECT_EQ(out[0], sv ? (tv != 0) : (ev != 0));
+      }
+    }
+  }
+}
+
+TEST(AigOps, CopyConesAcrossGraphs) {
+  Aig src;
+  const Lit a = src.addPi("a");
+  const Lit b = src.addPi("b");
+  const Lit f = src.mkXor(a, b);
+  src.addPo(f, "f");
+
+  Aig dst;
+  const Lit p = dst.addPi("p");
+  const Lit q = dst.addPi("q");
+  const std::vector<Lit> roots{f};
+  const std::vector<Lit> pi_map{p, q};
+  const std::vector<Lit> out = copyCones(src, roots, pi_map, dst);
+  dst.addPo(out[0], "g");
+  for (int av = 0; av < 2; ++av) {
+    for (int bv = 0; bv < 2; ++bv) {
+      EXPECT_EQ(dst.evaluate({av != 0, bv != 0})[0], (av ^ bv) != 0);
+    }
+  }
+}
+
+TEST(AigOps, CopyConesHonorsBoundary) {
+  Aig src;
+  const Lit a = src.addPi("a");
+  const Lit b = src.addPi("b");
+  const Lit inner = src.addAnd(a, b);
+  const Lit outer = src.mkOr(inner, a);
+  Aig dst;
+  const Lit cut = dst.addPi("cut");
+  VarMap map;
+  map[inner.var()] = cut;
+  map[a.var()] = dst.addPi("a2");
+  // b is only reachable through `inner`; boundary must prevent expansion.
+  const std::vector<Lit> roots{outer};
+  const std::vector<Lit> out = copyCones(src, roots, map, dst);
+  dst.addPo(out[0], "y");
+  EXPECT_EQ(dst.numPis(), 2u);
+  // y = cut | a2
+  EXPECT_EQ(dst.evaluate({true, false})[0], true);
+  EXPECT_EQ(dst.evaluate({false, true})[0], true);
+  EXPECT_EQ(dst.evaluate({false, false})[0], false);
+}
+
+TEST(AigOps, SubstituteCofactorsPseudoPi) {
+  Aig aig;
+  const Lit x = aig.addPi("x");
+  const Lit t = aig.addPi("t");
+  const Lit f = aig.mkXor(x, t);
+  VarMap repl0, repl1;
+  repl0[t.var()] = kFalse;
+  repl1[t.var()] = kTrue;
+  const std::vector<Lit> roots{f};
+  const Lit f0 = substitute(aig, roots, repl0)[0];
+  const Lit f1 = substitute(aig, roots, repl1)[0];
+  aig.addPo(f0, "f0");
+  aig.addPo(f1, "f1");
+  for (int xv = 0; xv < 2; ++xv) {
+    const auto out = aig.evaluate({xv != 0, false});
+    EXPECT_EQ(out[0], xv != 0);       // x xor 0
+    EXPECT_EQ(out[1], xv == 0);       // x xor 1
+  }
+}
+
+TEST(AigOps, SupportAndConeCount) {
+  Aig aig;
+  const Lit a = aig.addPi("a");
+  const Lit b = aig.addPi("b");
+  const Lit c = aig.addPi("c");
+  (void)c;
+  const Lit f = aig.addAnd(a, b);
+  const std::vector<Lit> roots{f};
+  const auto support = supportPis(aig, roots);
+  EXPECT_EQ(support.size(), 2u);
+  EXPECT_EQ(coneAndCount(aig, roots), 1u);
+}
+
+TEST(AigOps, TransitiveFanoutMask) {
+  Aig aig;
+  const Lit a = aig.addPi("a");
+  const Lit b = aig.addPi("b");
+  const Lit n1 = aig.addAnd(a, b);
+  const Lit n2 = aig.addAnd(n1, a);
+  const Lit n3 = aig.addAnd(b, !a);
+  const std::vector<std::uint32_t> srcs{n1.var()};
+  const auto mask = transitiveFanoutMask(aig, srcs);
+  EXPECT_TRUE(mask[n1.var()]);
+  EXPECT_TRUE(mask[n2.var()]);
+  EXPECT_FALSE(mask[n3.var()]);
+  EXPECT_FALSE(mask[a.var()]);
+}
+
+TEST(AigOps, CleanupDropsDeadLogic) {
+  Aig aig;
+  const Lit a = aig.addPi("a");
+  const Lit b = aig.addPi("b");
+  const Lit live = aig.addAnd(a, b);
+  aig.mkXor(a, b);  // dead
+  aig.addPo(live, "y");
+  const Aig swept = cleanup(aig);
+  EXPECT_EQ(swept.numAnds(), 1u);
+  EXPECT_EQ(swept.numPis(), 2u);
+  EXPECT_EQ(swept.numPos(), 1u);
+}
+
+TEST(AigOps, StrashEquivalentDetectsSameFunctionStructure) {
+  Aig a1;
+  {
+    const Lit x = a1.addPi("x");
+    const Lit y = a1.addPi("y");
+    a1.addPo(a1.addAnd(x, y), "o");
+  }
+  Aig a2;
+  {
+    const Lit x = a2.addPi("x");
+    const Lit y = a2.addPi("y");
+    a2.addPo(a2.addAnd(y, x), "o");
+  }
+  EXPECT_TRUE(strashEquivalent(a1, a2));
+  Aig a3;
+  {
+    const Lit x = a3.addPi("x");
+    const Lit y = a3.addPi("y");
+    a3.addPo(a3.mkOr(x, y), "o");
+  }
+  EXPECT_FALSE(strashEquivalent(a1, a3));
+}
+
+TEST(Aig, NamedSignals) {
+  Aig aig;
+  const Lit a = aig.addPi("a");
+  const Lit b = aig.addPi("b");
+  const Lit n = aig.addAnd(a, b);
+  aig.setSignalName(n, "net5");
+  ASSERT_TRUE(aig.findSignal("net5").has_value());
+  EXPECT_EQ(*aig.findSignal("net5"), n);
+  EXPECT_FALSE(aig.findSignal("nope").has_value());
+}
+
+}  // namespace
+}  // namespace eco

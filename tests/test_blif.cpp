@@ -1,0 +1,149 @@
+// Tests for BLIF I/O: SOP cover semantics (on-set and off-set polarity,
+// don't-cares, constants), structure handling, and round trips.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "base/rng.h"
+#include "io/blif.h"
+
+namespace eco::io {
+namespace {
+
+TEST(Blif, ParseSop) {
+  const std::string text = R"(
+# a 2-bit equality comparator
+.model eq2
+.inputs a0 a1 b0 b1
+.outputs eq
+.names a0 b0 e0
+11 1
+00 1
+.names a1 b1 e1
+11 1
+00 1
+.names e0 e1 eq
+11 1
+.end
+)";
+  const Aig aig = parseBlif(text);
+  ASSERT_EQ(aig.numPis(), 4u);
+  for (std::uint32_t m = 0; m < 16; ++m) {
+    const std::uint32_t a = m & 3, b = (m >> 2) & 3;
+    const std::vector<bool> in{(a & 1) != 0, (a & 2) != 0, (b & 1) != 0,
+                               (b & 2) != 0};
+    EXPECT_EQ(aig.evaluate(in)[0], a == b) << "m=" << m;
+  }
+}
+
+TEST(Blif, DontCareColumnsAndOffsetPolarity) {
+  const std::string text = R"(
+.model f
+.inputs a b c
+.outputs onf offf
+.names a b c onf
+1-1 1
+01- 1
+.names a b c offf
+000 0
+111 0
+.end
+)";
+  const Aig aig = parseBlif(text);
+  for (std::uint32_t m = 0; m < 8; ++m) {
+    const bool a = m & 1, b = (m >> 1) & 1, c = (m >> 2) & 1;
+    const auto out = aig.evaluate({a, b, c});
+    EXPECT_EQ(out[0], (a && c) || (!a && b)) << m;
+    // off-set cover: function is 0 exactly on listed cubes.
+    EXPECT_EQ(out[1], !((!a && !b && !c) || (a && b && c))) << m;
+  }
+}
+
+TEST(Blif, ConstantsAndEmptyCover) {
+  const std::string text = R"(
+.model k
+.inputs a
+.outputs one zero empty
+.names one
+1
+.names zero
+0
+.names empty
+.end
+)";
+  const Aig aig = parseBlif(text);
+  const auto out = aig.evaluate({false});
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+  EXPECT_FALSE(out[2]);
+}
+
+TEST(Blif, LineContinuation) {
+  const std::string text =
+      ".model c\n.inputs \\\na b\n.outputs o\n.names a b o\n11 1\n.end\n";
+  const Aig aig = parseBlif(text);
+  EXPECT_EQ(aig.numPis(), 2u);
+  EXPECT_TRUE(aig.evaluate({true, true})[0]);
+}
+
+TEST(Blif, RejectsLatch) {
+  EXPECT_THROW(parseBlif(".model l\n.latch a b 0\n.end\n"), std::runtime_error);
+}
+
+TEST(Blif, RejectsMixedPolarity) {
+  const std::string text = ".model m\n.inputs a\n.outputs o\n.names a o\n1 1\n0 0\n.end\n";
+  EXPECT_THROW(parseBlif(text), std::runtime_error);
+}
+
+TEST(Blif, RejectsCycle) {
+  const std::string text = R"(
+.model c
+.inputs a
+.outputs o
+.names a x y
+11 1
+.names a y x
+11 1
+.names x o
+1 1
+.end
+)";
+  EXPECT_THROW(parseBlif(text), std::runtime_error);
+}
+
+TEST(Blif, RejectsUndriven) {
+  const std::string text = ".model u\n.inputs a\n.outputs o\n.names a ghost o\n11 1\n.end\n";
+  EXPECT_THROW(parseBlif(text), std::runtime_error);
+}
+
+class BlifRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlifRandom, RoundTripPreservesFunction) {
+  Rng rng(GetParam());
+  Aig aig;
+  const std::uint32_t n = 5;
+  std::vector<Lit> pool;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    pool.push_back(aig.addPi("x" + std::to_string(i)));
+  }
+  for (int i = 0; i < 60; ++i) {
+    const Lit x = pool[rng.below(pool.size())] ^ rng.chance(1, 2);
+    const Lit y = pool[rng.below(pool.size())] ^ rng.chance(1, 2);
+    pool.push_back(aig.addAnd(x, y));
+  }
+  aig.addPo(pool.back() ^ rng.chance(1, 2), "f");
+  aig.addPo(kTrue, "t");
+  const Aig back = parseBlif(writeBlif(aig, "rt"));
+  ASSERT_EQ(back.numPis(), n);
+  for (std::uint32_t m = 0; m < (1u << n); ++m) {
+    std::vector<bool> in(n);
+    for (std::uint32_t i = 0; i < n; ++i) in[i] = (m >> i) & 1;
+    ASSERT_EQ(aig.evaluate(in), back.evaluate(in)) << "m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BlifRandom, ::testing::Values(3, 6, 9, 12));
+
+}  // namespace
+}  // namespace eco::io

@@ -1,0 +1,136 @@
+// Property tests for rebasing and base selection on randomized
+// specifications: selection always returns a feasible base no costlier
+// than the initial one, and synthesis over any feasible base yields a
+// function that exhaustively satisfies  on -> p  and  p & off = 0.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "eco/costopt.h"
+#include "eco/rebase.h"
+#include "eco/relations.h"
+
+namespace eco {
+namespace {
+
+struct RebaseSetup {
+  EcoInstance inst;
+  Workspace ws;
+  Lit on, off;
+  std::vector<Candidate> cands;
+};
+
+/// Random on/off pair (disjoint by construction) over n X inputs, plus a
+/// pool of random candidate functions that always includes the X inputs
+/// themselves (so feasibility of {all X} is guaranteed).
+RebaseSetup makeRandomSetup(std::uint32_t n, std::uint32_t n_extra, Rng& rng) {
+  RebaseSetup s;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    s.inst.golden.addPi("x" + std::to_string(i));
+    s.inst.faulty.addPi("x" + std::to_string(i));
+  }
+  s.inst.faulty.addPi("t0");
+  s.inst.num_x = n;
+  s.inst.golden.addPo(kFalse, "o");
+  s.inst.faulty.addPo(kFalse, "o");
+
+  // Random extra candidate functions as named signals of the faulty AIG.
+  std::vector<Lit> pool;
+  for (std::uint32_t i = 0; i < n; ++i) pool.push_back(s.inst.faulty.piLit(i));
+  for (std::uint32_t i = 0; i < n_extra; ++i) {
+    const Lit a = pool[rng.below(pool.size())] ^ rng.chance(1, 2);
+    const Lit b = pool[rng.below(pool.size())] ^ rng.chance(1, 2);
+    const Lit v = s.inst.faulty.addAnd(a, b);
+    if (!s.inst.faulty.isPi(v.var()) && v.var() != 0) {
+      s.inst.faulty.setSignalName(v, "c" + std::to_string(i));
+      pool.push_back(v);
+    }
+  }
+  s.ws = buildWorkspace(s.inst);
+  s.cands = collectCandidates(s.inst, s.ws);
+
+  // Random disjoint on/off in the workspace.
+  Lit f = kFalse, g = kFalse;
+  std::vector<Lit> wpool = s.ws.x_pis;
+  for (int i = 0; i < 20; ++i) {
+    const Lit a = wpool[rng.below(wpool.size())] ^ rng.chance(1, 2);
+    const Lit b = wpool[rng.below(wpool.size())] ^ rng.chance(1, 2);
+    wpool.push_back(s.ws.w.addAnd(a, b));
+  }
+  f = wpool[wpool.size() - 1 - rng.below(5)];
+  g = wpool[wpool.size() - 1 - rng.below(5)] ^ true;
+  s.on = s.ws.w.addAnd(f, g);
+  s.off = s.ws.w.addAnd(f, !g);  // disjoint from on by construction
+  return s;
+}
+
+/// Evaluates a workspace literal under an X assignment.
+bool evalW(const Workspace& ws, Lit l, std::uint32_t m) {
+  std::vector<bool> in(ws.w.numPis(), false);
+  for (std::size_t i = 0; i < ws.x_pis.size(); ++i) {
+    in[ws.w.piIndex(ws.x_pis[i].var())] = (m >> i) & 1;
+  }
+  // Point evaluation via a one-PO probe is wasteful but simple: reuse
+  // Aig::evaluate over a temporary PO? Instead evaluate all nodes directly.
+  std::vector<bool> value(ws.w.numNodes(), false);
+  for (std::uint32_t v = 1; v < ws.w.numNodes(); ++v) {
+    if (ws.w.isPi(v)) {
+      value[v] = in[ws.w.piIndex(v)];
+    } else {
+      const Lit f0 = ws.w.fanin0(v);
+      const Lit f1 = ws.w.fanin1(v);
+      value[v] = (value[f0.var()] ^ f0.complemented()) &&
+                 (value[f1.var()] ^ f1.complemented());
+    }
+  }
+  return value[l.var()] ^ l.complemented();
+}
+
+class CostOptProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CostOptProperty, SelectionFeasibleAndSynthesisSound) {
+  Rng rng(GetParam());
+  const std::uint32_t n = 5;
+  RebaseSetup s = makeRandomSetup(n, 12, rng);
+
+  RebaseOracle oracle(s.ws, s.on, s.off, s.cands);
+  std::vector<double> weight(s.cands.size());
+  for (auto& w : weight) w = 1 + rng.below(9);
+
+  // Initial base: all X inputs (always feasible — on/off are X functions).
+  std::vector<std::uint32_t> initial;
+  for (std::uint32_t i = 0; i < n; ++i) initial.push_back(i);
+  ASSERT_TRUE(oracle.feasible(initial));
+  double initial_cost = 0;
+  for (const std::uint32_t i : initial) initial_cost += weight[i];
+
+  EcoOptions opt;
+  opt.watch_size = 3;
+  const BaseSelection sel = selectBase(oracle, weight, initial, opt);
+  EXPECT_TRUE(oracle.feasible(sel.base));
+  EXPECT_LE(sel.cost, initial_cost);
+
+  // Synthesize over the selected base and verify exhaustively.
+  const auto patch =
+      synthesizeOverBase(s.ws, s.on, s.off, s.cands, sel.base, -1);
+  ASSERT_TRUE(patch.has_value());
+  for (std::uint32_t m = 0; m < (1u << n); ++m) {
+    std::vector<bool> base_vals;
+    for (const std::uint32_t i : sel.base) {
+      base_vals.push_back(evalW(s.ws, s.cands[i].w_fn, m));
+    }
+    const bool p = patch->evaluate(base_vals)[0];
+    if (evalW(s.ws, s.on, m)) {
+      EXPECT_TRUE(p) << "on-set violated at " << m;
+    }
+    if (evalW(s.ws, s.off, m)) {
+      EXPECT_FALSE(p) << "off-set violated at " << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CostOptProperty,
+                         ::testing::Values(7, 17, 27, 37, 47, 57, 67, 77));
+
+}  // namespace
+}  // namespace eco

@@ -1,0 +1,106 @@
+// Engine option-surface tests: every configuration must stay sound (the
+// patch verifies); options only trade cost/size/time.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/benchgen.h"
+#include "eco/engine.h"
+#include "eco/verify.h"
+
+namespace eco {
+namespace {
+
+EcoInstance midInstance(std::uint64_t seed) {
+  benchgen::UnitSpec spec{.name = "opts",
+                          .family = benchgen::Family::Alu,
+                          .size_param = 3,
+                          .num_targets = 2,
+                          .seed = seed,
+                          .pi_weight = 15};
+  return benchgen::generateUnit(spec);
+}
+
+void expectVerified(const EcoInstance& inst, const PatchResult& r) {
+  ASSERT_TRUE(r.success) << r.message;
+  for (std::uint32_t m = 0; m < (1u << inst.num_x); ++m) {
+    std::vector<bool> x(inst.num_x);
+    for (std::uint32_t i = 0; i < inst.num_x; ++i) x[i] = (m >> i) & 1;
+    ASSERT_EQ(evaluatePatched(inst, r, x), inst.golden.evaluate(x)) << m;
+  }
+}
+
+TEST(EngineOptions, ZeroOptRoundsSkipsOptimization) {
+  const EcoInstance inst = midInstance(1);
+  EcoOptions opt;
+  opt.opt_rounds = 0;
+  const PatchResult r = EcoEngine(opt).run(inst);
+  expectVerified(inst, r);
+  EXPECT_DOUBLE_EQ(r.cost, r.initial_cost);
+}
+
+TEST(EngineOptions, MinimizeOffStillSound) {
+  const EcoInstance inst = midInstance(2);
+  EcoOptions on_opt, off_opt;
+  off_opt.minimize_patches = false;
+  const PatchResult r_on = EcoEngine(on_opt).run(inst);
+  const PatchResult r_off = EcoEngine(off_opt).run(inst);
+  expectVerified(inst, r_on);
+  expectVerified(inst, r_off);
+  EXPECT_LE(r_on.size, r_off.size + 5u);  // minimization should not hurt much
+}
+
+TEST(EngineOptions, HugeWatchGroup) {
+  const EcoInstance inst = midInstance(3);
+  EcoOptions opt;
+  opt.watch_size = 50;  // larger than any base
+  const PatchResult r = EcoEngine(opt).run(inst);
+  expectVerified(inst, r);
+}
+
+TEST(EngineOptions, TinyCandidateCap) {
+  const EcoInstance inst = midInstance(4);
+  EcoOptions opt;
+  opt.max_candidates = 4;
+  opt.max_step2_candidates = 2;
+  const PatchResult r = EcoEngine(opt).run(inst);
+  expectVerified(inst, r);
+}
+
+TEST(EngineOptions, SharedBaseAccountingOffStillSound) {
+  const EcoInstance inst = midInstance(5);
+  EcoOptions opt;
+  opt.account_shared_bases = false;
+  const PatchResult r = EcoEngine(opt).run(inst);
+  expectVerified(inst, r);
+}
+
+TEST(EngineOptions, AggressiveCompressionThreshold) {
+  const EcoInstance inst = midInstance(6);
+  EcoOptions opt;
+  opt.compress_threshold = 1;  // compress after every iteration
+  const PatchResult r = EcoEngine(opt).run(inst);
+  expectVerified(inst, r);
+}
+
+TEST(EngineOptions, DeterministicAcrossRuns) {
+  const EcoInstance inst = midInstance(7);
+  const PatchResult r1 = EcoEngine().run(inst);
+  const PatchResult r2 = EcoEngine().run(inst);
+  ASSERT_TRUE(r1.success);
+  ASSERT_TRUE(r2.success);
+  EXPECT_DOUBLE_EQ(r1.cost, r2.cost);
+  EXPECT_EQ(r1.size, r2.size);
+  EXPECT_EQ(r1.base.size(), r2.base.size());
+}
+
+TEST(EngineOptions, SeedChangesAreStillSound) {
+  const EcoInstance inst = midInstance(8);
+  for (const std::uint64_t seed : {1ull, 99ull, 12345ull}) {
+    EcoOptions opt;
+    opt.seed = seed;
+    expectVerified(inst, EcoEngine(opt).run(inst));
+  }
+}
+
+}  // namespace
+}  // namespace eco

@@ -1,0 +1,142 @@
+// Full contest-interface integration: generate a unit, serialize it as
+// Verilog + weight files, parse everything back, run the engine, write the
+// patch as Verilog, re-parse it, splice it into the faulty netlist, and
+// check equivalence against the golden netlist exhaustively. Exercises io,
+// benchgen, and the engine as one pipeline, exactly as a downstream user
+// would drive them.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_map>
+
+#include "aig/aig_ops.h"
+#include "benchgen/benchgen.h"
+#include "eco/engine.h"
+#include "io/verilog.h"
+
+namespace eco {
+namespace {
+
+/// Writes an instance's faulty circuit as Verilog with the target
+/// pseudo-PIs emitted as floating wires (the contest encoding).
+std::string writeFaultyAsVerilog(const EcoInstance& inst) {
+  std::vector<std::uint32_t> floating;
+  for (std::uint32_t k = 0; k < inst.numTargets(); ++k) {
+    floating.push_back(inst.targetPi(k));
+  }
+  return io::writeVerilogWithFloating(inst.faulty, "top", floating);
+}
+
+TEST(IntegrationFlow, FileRoundTripAndPatchSplice) {
+  benchgen::UnitSpec spec{.name = "roundtrip",
+                          .family = benchgen::Family::Alu,
+                          .size_param = 3,
+                          .num_targets = 2,
+                          .seed = 404,
+                          .pi_weight = 9};
+  const EcoInstance generated = benchgen::generateUnit(spec);
+
+  // --- serialize all three contest files ---------------------------------
+  const std::string f_text = writeFaultyAsVerilog(generated);
+  const std::string g_text = io::writeVerilog(generated.golden, "top");
+  std::unordered_map<std::string, double> weights = generated.weights;
+  const std::string w_text = io::writeWeights(weights);
+
+  // --- parse back ----------------------------------------------------------
+  io::Netlist faulty = io::parseVerilog(f_text);
+  io::Netlist golden = io::parseVerilog(g_text);
+  ASSERT_EQ(faulty.targets.size(), generated.numTargets());
+  ASSERT_EQ(faulty.inputs.size(), generated.num_x);
+
+  EcoInstance inst;
+  inst.name = "roundtrip";
+  inst.faulty = std::move(faulty.aig);
+  inst.golden = std::move(golden.aig);
+  inst.num_x = static_cast<std::uint32_t>(faulty.inputs.size());
+  inst.weights = io::parseWeights(w_text);
+
+  // The writer names wires "nK" after AIG vars; parsed signal names differ
+  // from the generated ones but weights for PIs still apply. Unknown names
+  // fall back to default_weight.
+  inst.default_weight = 1.0;
+
+  // --- run the engine -------------------------------------------------------
+  const PatchResult r = EcoEngine().run(inst);
+  ASSERT_TRUE(r.success) << r.message;
+
+  // --- write the patch, re-parse it, splice, verify -------------------------
+  const std::string patch_text = io::writeVerilog(r.patch, "patch");
+  io::Netlist patch = io::parseVerilog(patch_text);
+  ASSERT_EQ(patch.aig.numPos(), inst.numTargets());
+  ASSERT_EQ(patch.aig.numPis(), r.base.size());
+
+  // Splice: evaluate the faulty circuit with targets driven by the patch.
+  ASSERT_LE(inst.num_x, 10u);
+  for (std::uint32_t m = 0; m < (1u << inst.num_x); ++m) {
+    std::vector<bool> x(inst.num_x);
+    for (std::uint32_t i = 0; i < inst.num_x; ++i) x[i] = (m >> i) & 1;
+
+    // Base signal values from the faulty AIG (targets tied to 0: bases are
+    // outside target fanout by construction).
+    std::vector<bool> fpis(inst.faulty.numPis(), false);
+    for (std::uint32_t i = 0; i < inst.num_x; ++i) fpis[i] = x[i];
+    // Evaluate every node once.
+    std::vector<bool> value(inst.faulty.numNodes(), false);
+    for (std::uint32_t v = 1; v < inst.faulty.numNodes(); ++v) {
+      if (inst.faulty.isPi(v)) {
+        value[v] = fpis[inst.faulty.piIndex(v)];
+      } else {
+        const Lit f0 = inst.faulty.fanin0(v);
+        const Lit f1 = inst.faulty.fanin1(v);
+        value[v] = (value[f0.var()] ^ f0.complemented()) &&
+                   (value[f1.var()] ^ f1.complemented());
+      }
+    }
+    // Patch inputs resolved by *name* against the faulty netlist (as a
+    // physical splice would connect them).
+    std::vector<bool> pin(patch.aig.numPis());
+    for (std::uint32_t i = 0; i < patch.aig.numPis(); ++i) {
+      const std::string& name = patch.aig.piName(i);
+      Lit sig;
+      if (auto pi = inst.faulty.findPi(name)) {
+        sig = Lit::fromVar(*pi, false);
+      } else {
+        auto s = inst.faulty.findSignal(name);
+        ASSERT_TRUE(s.has_value()) << "patch input " << name
+                                   << " not found in faulty netlist";
+        sig = *s;
+      }
+      pin[i] = value[sig.var()] ^ sig.complemented();
+    }
+    const std::vector<bool> tvals = patch.aig.evaluate(pin);
+    for (std::uint32_t k = 0; k < inst.numTargets(); ++k) {
+      fpis[inst.num_x + k] = tvals[k];
+    }
+    ASSERT_EQ(inst.faulty.evaluate(fpis), inst.golden.evaluate(x))
+        << "minterm " << m;
+  }
+}
+
+TEST(IntegrationFlow, PatchOutputsNamedAfterTargets) {
+  benchgen::UnitSpec spec{.name = "names",
+                          .family = benchgen::Family::Comparator,
+                          .size_param = 3,
+                          .num_targets = 2,
+                          .seed = 7};
+  const EcoInstance inst = benchgen::generateUnit(spec);
+  const PatchResult r = EcoEngine().run(inst);
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.patch.numPos(), 2u);
+  EXPECT_EQ(r.patch.poName(0), inst.targetName(0));
+  EXPECT_EQ(r.patch.poName(1), inst.targetName(1));
+  // Every base is a real faulty-circuit signal.
+  for (const BaseRef& b : r.base) {
+    const bool is_pi = inst.faulty.findPi(b.name).has_value();
+    const bool is_sig = inst.faulty.findSignal(b.name).has_value();
+    EXPECT_TRUE(is_pi || is_sig) << b.name;
+  }
+}
+
+}  // namespace
+}  // namespace eco

@@ -1,0 +1,227 @@
+// Tests for the structural Verilog parser/writer and weight files.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "aig/aig_ops.h"
+#include "io/verilog.h"
+
+namespace eco::io {
+namespace {
+
+TEST(Verilog, ParseSimpleModule) {
+  const std::string src = R"(
+// full adder
+module fa ( a, b, cin, s, cout );
+input a, b, cin;
+output s, cout;
+wire w1, w2, w3;
+xor g1 ( w1, a, b );
+xor g2 ( s, w1, cin );
+and g3 ( w2, a, b );
+and g4 ( w3, w1, cin );
+or  g5 ( cout, w2, w3 );
+endmodule
+)";
+  const Netlist nl = parseVerilog(src);
+  EXPECT_EQ(nl.module_name, "fa");
+  EXPECT_EQ(nl.inputs.size(), 3u);
+  EXPECT_EQ(nl.outputs.size(), 2u);
+  EXPECT_TRUE(nl.targets.empty());
+  // Semantics: full adder truth table.
+  for (int m = 0; m < 8; ++m) {
+    const bool a = m & 1, b = (m >> 1) & 1, c = (m >> 2) & 1;
+    const auto out = nl.aig.evaluate({a, b, c});
+    EXPECT_EQ(out[0], (a ^ b ^ c) != 0);
+    EXPECT_EQ(out[1], (a + b + c) >= 2);
+  }
+}
+
+TEST(Verilog, FloatingWiresBecomeTargets) {
+  const std::string src = R"(
+module f ( a, o );
+input a;
+output o;
+wire t_0, w1;
+and g1 ( w1, a, t_0 );
+buf g2 ( o, w1 );
+endmodule
+)";
+  const Netlist nl = parseVerilog(src);
+  ASSERT_EQ(nl.targets.size(), 1u);
+  EXPECT_EQ(nl.targets[0], "t_0");
+  EXPECT_EQ(nl.aig.numPis(), 2u);  // a + floating t_0
+  // o = a & t_0.
+  EXPECT_EQ(nl.aig.evaluate({true, true})[0], true);
+  EXPECT_EQ(nl.aig.evaluate({true, false})[0], false);
+}
+
+TEST(Verilog, GateVariety) {
+  const std::string src = R"(
+module g ( a, b, o1, o2, o3, o4, o5 );
+input a, b;
+output o1, o2, o3, o4, o5;
+nand n1 ( o1, a, b );
+nor n2 ( o2, a, b );
+xnor n3 ( o3, a, b );
+not n4 ( o4, a );
+and n5 ( o5, a, b, a );
+endmodule
+)";
+  const Netlist nl = parseVerilog(src);
+  for (int m = 0; m < 4; ++m) {
+    const bool a = m & 1, b = (m >> 1) & 1;
+    const auto o = nl.aig.evaluate({a, b});
+    EXPECT_EQ(o[0], !(a && b));
+    EXPECT_EQ(o[1], !(a || b));
+    EXPECT_EQ(o[2], a == b);
+    EXPECT_EQ(o[3], !a);
+    EXPECT_EQ(o[4], a && b);
+  }
+}
+
+TEST(Verilog, AssignAndConstants) {
+  const std::string src = R"(
+module g ( a, o1, o2, o3 );
+input a;
+output o1, o2, o3;
+wire w;
+assign w = ~a;
+assign o1 = w;
+and g1 ( o2, a, 1'b1 );
+or g2 ( o3, a, 1'b0 );
+endmodule
+)";
+  const Netlist nl = parseVerilog(src);
+  EXPECT_EQ(nl.aig.evaluate({true})[0], false);
+  EXPECT_EQ(nl.aig.evaluate({true})[1], true);
+  EXPECT_EQ(nl.aig.evaluate({false})[2], false);
+}
+
+TEST(Verilog, GatesOutOfOrder) {
+  const std::string src = R"(
+module g ( a, b, o );
+input a, b;
+output o;
+wire w1, w2;
+or g2 ( o, w1, w2 );
+and g1 ( w1, a, b );
+and g3 ( w2, a, a );
+endmodule
+)";
+  const Netlist nl = parseVerilog(src);
+  EXPECT_EQ(nl.aig.evaluate({true, false})[0], true);
+  EXPECT_EQ(nl.aig.evaluate({false, true})[0], false);
+}
+
+TEST(Verilog, ReconvergentFaninIsNotACycle) {
+  // Two fanins of one gate where the later one depends on the earlier one:
+  // a naive work-stack DFS misreports this diamond as a cycle.
+  const std::string src = R"(
+module g ( a, b, o );
+input a, b;
+output o;
+wire n1, n2;
+and g3 ( o, n1, n2 );
+and g1 ( n1, a, b );
+not g2 ( n2, n1 );
+endmodule
+)";
+  const Netlist nl = parseVerilog(src);
+  // o = (a&b) & !(a&b) = 0.
+  for (int m = 0; m < 4; ++m) {
+    EXPECT_EQ(nl.aig.evaluate({(m & 1) != 0, (m & 2) != 0})[0], false);
+  }
+}
+
+TEST(Verilog, RejectsCycle) {
+  const std::string src = R"(
+module g ( a, o );
+input a;
+output o;
+wire w1, w2;
+and g1 ( w1, w2, a );
+and g2 ( w2, w1, a );
+buf g3 ( o, w1 );
+endmodule
+)";
+  EXPECT_THROW(parseVerilog(src), std::runtime_error);
+}
+
+TEST(Verilog, RejectsMultipleDrivers) {
+  const std::string src = R"(
+module g ( a, o );
+input a;
+output o;
+and g1 ( o, a, a );
+or g2 ( o, a, a );
+endmodule
+)";
+  EXPECT_THROW(parseVerilog(src), std::runtime_error);
+}
+
+TEST(Verilog, RoundTripPreservesFunction) {
+  Aig aig;
+  const Lit a = aig.addPi("a");
+  const Lit b = aig.addPi("b");
+  const Lit c = aig.addPi("c");
+  aig.addPo(aig.mkOr(aig.mkXor(a, b), aig.addAnd(b, !c)), "y0");
+  aig.addPo(!aig.addAnd(a, c), "y1");
+  aig.addPo(kTrue, "y2");
+
+  const std::string text = writeVerilog(aig, "rt");
+  const Netlist back = parseVerilog(text);
+  ASSERT_EQ(back.aig.numPis(), 3u);
+  ASSERT_EQ(back.aig.numPos(), 3u);
+  for (int m = 0; m < 8; ++m) {
+    const std::vector<bool> in{(m & 1) != 0, (m & 2) != 0, (m & 4) != 0};
+    EXPECT_EQ(aig.evaluate(in), back.aig.evaluate(in)) << "m=" << m;
+  }
+}
+
+TEST(Verilog, WriterAvoidsNameCollisionWithPorts) {
+  // A PI deliberately named like a generated internal wire ("n3"): the
+  // writer must rename its internal wires to avoid shadowing the input.
+  Aig aig;
+  const Lit a = aig.addPi("n3");
+  const Lit b = aig.addPi("n4");
+  aig.addPo(aig.mkXor(a, b), "t0");
+  aig.addPo(aig.addAnd(a, !b), "t1");
+  const Netlist back = parseVerilog(writeVerilog(aig, "patch"));
+  for (int m = 0; m < 4; ++m) {
+    const std::vector<bool> in{(m & 1) != 0, (m & 2) != 0};
+    EXPECT_EQ(aig.evaluate(in), back.aig.evaluate(in)) << "m=" << m;
+  }
+}
+
+TEST(Verilog, RejectsGateDrivingAnInput) {
+  const std::string src = R"(
+module g ( a, o );
+input a;
+output o;
+and g1 ( a, a, a );
+buf g2 ( o, a );
+endmodule
+)";
+  EXPECT_THROW(parseVerilog(src), std::runtime_error);
+}
+
+TEST(Weights, ParseAndWrite) {
+  const std::string text = "n1 4\nn2 0.5  # comment\n\n# full line comment\nn3 12\n";
+  const auto w = parseWeights(text);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.at("n1"), 4);
+  EXPECT_DOUBLE_EQ(w.at("n2"), 0.5);
+  EXPECT_DOUBLE_EQ(w.at("n3"), 12);
+  const auto round = parseWeights(writeWeights(w));
+  EXPECT_EQ(round.size(), w.size());
+  EXPECT_DOUBLE_EQ(round.at("n2"), 0.5);
+}
+
+TEST(Weights, RejectsNegative) {
+  EXPECT_THROW(parseWeights("n1 -3\n"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace eco::io

@@ -1,0 +1,106 @@
+// Tests for run-report formatting and the aig structural utilities
+// (levels, fanout counts) added for them.
+
+#include <gtest/gtest.h>
+
+#include "aig/aig_ops.h"
+#include "eco/engine.h"
+#include "eco/report.h"
+
+namespace eco {
+namespace {
+
+TEST(AigOps, Levels) {
+  Aig aig;
+  const Lit a = aig.addPi("a");
+  const Lit b = aig.addPi("b");
+  const Lit n1 = aig.addAnd(a, b);
+  const Lit n2 = aig.addAnd(n1, a);
+  const auto d = levels(aig);
+  EXPECT_EQ(d[a.var()], 0u);
+  EXPECT_EQ(d[n1.var()], 1u);
+  EXPECT_EQ(d[n2.var()], 2u);
+}
+
+TEST(AigOps, FanoutCounts) {
+  Aig aig;
+  const Lit a = aig.addPi("a");
+  const Lit b = aig.addPi("b");
+  const Lit n1 = aig.addAnd(a, b);
+  const Lit n2 = aig.addAnd(n1, !a);
+  aig.addPo(n2, "o");
+  aig.addPo(n1, "o2");
+  const auto refs = fanoutCounts(aig);
+  EXPECT_EQ(refs[a.var()], 2u);   // n1 + n2
+  EXPECT_EQ(refs[b.var()], 1u);
+  EXPECT_EQ(refs[n1.var()], 2u);  // n2 + PO
+  EXPECT_EQ(refs[n2.var()], 1u);  // PO
+}
+
+EcoInstance tinyInstance() {
+  EcoInstance inst;
+  inst.name = "report-tiny";
+  const Lit a = inst.golden.addPi("a");
+  const Lit b = inst.golden.addPi("b");
+  inst.golden.addPo(inst.golden.addAnd(a, b), "o");
+  inst.faulty.addPi("a");
+  inst.faulty.addPi("b");
+  const Lit t = inst.faulty.addPi("t0");
+  inst.num_x = 2;
+  inst.faulty.addPo(t, "o");
+  return inst;
+}
+
+TEST(Report, RunReportContainsKeyNumbers) {
+  const EcoInstance inst = tinyInstance();
+  const PatchResult r = EcoEngine().run(inst);
+  ASSERT_TRUE(r.success);
+  const std::string report = formatRunReport(inst, r);
+  EXPECT_NE(report.find("report-tiny"), std::string::npos);
+  EXPECT_NE(report.find("final patch"), std::string::npos);
+  EXPECT_NE(report.find("base"), std::string::npos);
+}
+
+TEST(Report, RunReportShowsFailure) {
+  EcoInstance inst = tinyInstance();
+  PatchResult r;
+  r.success = false;
+  r.message = "unrectifiable: something";
+  const std::string report = formatRunReport(inst, r);
+  EXPECT_NE(report.find("FAILED"), std::string::npos);
+  EXPECT_NE(report.find("unrectifiable"), std::string::npos);
+}
+
+TEST(Report, ComparisonTableGeometry) {
+  ComparisonRow row;
+  row.name = "u1";
+  row.num_targets = 2;
+  row.baseline.success = true;
+  row.baseline.cost = 100;
+  row.baseline.size = 50;
+  row.baseline.seconds = 1.0;
+  row.ours.success = true;
+  row.ours.cost = 10;
+  row.ours.size = 5;
+  row.ours.seconds = 2.0;
+  const std::string table = formatComparisonTable({row, row});
+  // Ratio columns 0.100 for cost and size; geometric mean of equal rows is
+  // the same ratio.
+  EXPECT_NE(table.find("0.100"), std::string::npos);
+  EXPECT_NE(table.find("geomean"), std::string::npos);
+  EXPECT_NE(table.find("2.00"), std::string::npos);  // time ratio
+}
+
+TEST(Report, ComparisonTableHandlesFailures) {
+  ComparisonRow row;
+  row.name = "bad";
+  row.baseline.success = false;
+  row.baseline.message = "timeout";
+  row.ours.success = true;
+  const std::string table = formatComparisonTable({row});
+  EXPECT_NE(table.find("timeout"), std::string::npos);
+  EXPECT_EQ(table.find("geomean"), std::string::npos);  // no counted rows
+}
+
+}  // namespace
+}  // namespace eco

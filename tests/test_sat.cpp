@@ -1,0 +1,256 @@
+// Unit and property tests for the CDCL SAT solver.
+//
+// The property sweep cross-checks the solver against brute-force
+// enumeration on random small CNFs, including incremental use with
+// assumptions and unsat-core extraction.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/rng.h"
+#include "sat/solver.h"
+
+namespace eco::sat {
+namespace {
+
+SLit pos(Var v) { return SLit::make(v, false); }
+SLit neg(Var v) { return SLit::make(v, true); }
+
+TEST(Solver, TrivialSat) {
+  Solver s;
+  const Var a = s.newVar();
+  s.addClause({pos(a)});
+  EXPECT_EQ(s.solve(), Status::Sat);
+  EXPECT_EQ(s.modelValue(a), LBool::True);
+}
+
+TEST(Solver, TrivialUnsat) {
+  Solver s;
+  const Var a = s.newVar();
+  s.addClause({pos(a)});
+  s.addClause({neg(a)});
+  EXPECT_EQ(s.solve(), Status::Unsat);
+}
+
+TEST(Solver, EmptyClauseIsUnsat) {
+  Solver s;
+  s.addClause(std::span<const SLit>{});
+  EXPECT_EQ(s.solve(), Status::Unsat);
+}
+
+TEST(Solver, UnitPropagationChain) {
+  Solver s;
+  const Var a = s.newVar(), b = s.newVar(), c = s.newVar();
+  s.addClause({pos(a)});
+  s.addClause({neg(a), pos(b)});
+  s.addClause({neg(b), pos(c)});
+  EXPECT_EQ(s.solve(), Status::Sat);
+  EXPECT_EQ(s.modelValue(c), LBool::True);
+}
+
+TEST(Solver, XorChainRequiresSearch) {
+  // x1 xor x2 xor x3 = 1 encoded in CNF; satisfiable.
+  Solver s;
+  const Var x1 = s.newVar(), x2 = s.newVar(), x3 = s.newVar();
+  s.addClause({pos(x1), pos(x2), pos(x3)});
+  s.addClause({pos(x1), neg(x2), neg(x3)});
+  s.addClause({neg(x1), pos(x2), neg(x3)});
+  s.addClause({neg(x1), neg(x2), pos(x3)});
+  ASSERT_EQ(s.solve(), Status::Sat);
+  const int ones = (s.modelValue(x1) == LBool::True) +
+                   (s.modelValue(x2) == LBool::True) +
+                   (s.modelValue(x3) == LBool::True);
+  EXPECT_EQ(ones % 2, 1);
+}
+
+TEST(Solver, PigeonholeUnsat) {
+  // 4 pigeons, 3 holes.
+  const int P = 4, H = 3;
+  Solver s;
+  std::vector<std::vector<Var>> v(P, std::vector<Var>(H));
+  for (int p = 0; p < P; ++p) {
+    for (int h = 0; h < H; ++h) v[p][h] = s.newVar();
+  }
+  for (int p = 0; p < P; ++p) {
+    std::vector<SLit> c;
+    for (int h = 0; h < H; ++h) c.push_back(pos(v[p][h]));
+    s.addClause(c);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        s.addClause({neg(v[p1][h]), neg(v[p2][h])});
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), Status::Unsat);
+}
+
+TEST(Solver, AssumptionsSatAndUnsat) {
+  Solver s;
+  const Var a = s.newVar(), b = s.newVar();
+  s.addClause({neg(a), pos(b)});
+  s.addClause({neg(b), neg(a)});  // a -> b and a -> !b: a must be false
+  EXPECT_EQ(s.solve({pos(a)}), Status::Unsat);
+  EXPECT_EQ(s.solve({neg(a)}), Status::Sat);
+  // Solver stays usable incrementally.
+  EXPECT_EQ(s.solve(), Status::Sat);
+  EXPECT_EQ(s.modelValue(a), LBool::False);
+}
+
+TEST(Solver, FailedAssumptionCoreIsSubset) {
+  Solver s;
+  const Var a = s.newVar(), b = s.newVar(), c = s.newVar(), d = s.newVar();
+  s.addClause({neg(a), neg(b)});  // a and b conflict
+  (void)c;
+  (void)d;
+  ASSERT_EQ(s.solve({pos(c), pos(a), pos(d), pos(b)}), Status::Unsat);
+  const auto& core = s.failedAssumptions();
+  // The core must mention a and b but need not mention c or d.
+  bool has_a = false, has_b = false, has_cd = false;
+  for (const SLit l : core) {
+    if (l.var() == a) has_a = true;
+    if (l.var() == b) has_b = true;
+    if (l.var() == c || l.var() == d) has_cd = true;
+  }
+  EXPECT_TRUE(has_a);
+  EXPECT_TRUE(has_b);
+  EXPECT_FALSE(has_cd);
+}
+
+TEST(Solver, ConflictBudgetReturnsUndef) {
+  // A hard pigeonhole with a tiny budget must return Undef, not hang.
+  const int P = 8, H = 7;
+  Solver s;
+  std::vector<std::vector<Var>> v(P, std::vector<Var>(H));
+  for (auto& row : v) {
+    for (auto& var : row) var = s.newVar();
+  }
+  for (int p = 0; p < P; ++p) {
+    std::vector<SLit> c;
+    for (int h = 0; h < H; ++h) c.push_back(pos(v[p][h]));
+    s.addClause(c);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        s.addClause({neg(v[p1][h]), neg(v[p2][h])});
+      }
+    }
+  }
+  s.setConflictBudget(10);
+  EXPECT_EQ(s.solve(), Status::Undef);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: random 3-CNF vs brute force.
+
+struct RandomCnfParam {
+  std::uint32_t vars;
+  std::uint32_t clauses;
+  std::uint64_t seed;
+};
+
+class SolverRandomCnf : public ::testing::TestWithParam<RandomCnfParam> {};
+
+std::vector<std::vector<SLit>> randomCnf(const RandomCnfParam& p, Rng& rng) {
+  std::vector<std::vector<SLit>> cnf;
+  for (std::uint32_t i = 0; i < p.clauses; ++i) {
+    std::vector<SLit> clause;
+    const std::uint32_t len = 1 + rng.below(3);
+    for (std::uint32_t j = 0; j < len; ++j) {
+      clause.push_back(
+          SLit::make(static_cast<Var>(rng.below(p.vars)), rng.chance(1, 2)));
+    }
+    cnf.push_back(clause);
+  }
+  return cnf;
+}
+
+bool bruteForceSat(std::uint32_t vars, const std::vector<std::vector<SLit>>& cnf) {
+  for (std::uint32_t m = 0; m < (1u << vars); ++m) {
+    bool all = true;
+    for (const auto& clause : cnf) {
+      bool any = false;
+      for (const SLit l : clause) {
+        const bool v = (m >> l.var()) & 1;
+        if (v != l.sign()) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+TEST_P(SolverRandomCnf, AgreesWithBruteForce) {
+  const RandomCnfParam p = GetParam();
+  Rng rng(p.seed);
+  for (int round = 0; round < 30; ++round) {
+    const auto cnf = randomCnf(p, rng);
+    Solver s;
+    for (std::uint32_t v = 0; v < p.vars; ++v) s.newVar();
+    for (const auto& clause : cnf) s.addClause(clause);
+    const Status st = s.solve();
+    const bool expected = bruteForceSat(p.vars, cnf);
+    ASSERT_EQ(st, expected ? Status::Sat : Status::Unsat)
+        << "vars=" << p.vars << " clauses=" << p.clauses << " round=" << round;
+    if (st == Status::Sat) {
+      // The model must actually satisfy the formula.
+      for (const auto& clause : cnf) {
+        bool any = false;
+        for (const SLit l : clause) {
+          if (s.modelValue(l) == LBool::True) {
+            any = true;
+            break;
+          }
+        }
+        ASSERT_TRUE(any);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SolverRandomCnf,
+    ::testing::Values(RandomCnfParam{4, 10, 11}, RandomCnfParam{6, 18, 22},
+                      RandomCnfParam{8, 30, 33}, RandomCnfParam{10, 42, 44},
+                      RandomCnfParam{12, 52, 55}, RandomCnfParam{14, 60, 66},
+                      RandomCnfParam{9, 60, 77}, RandomCnfParam{7, 12, 88}));
+
+// Incremental property: solve twice with growing clauses, answers stay
+// consistent with brute force each time.
+TEST(Solver, IncrementalAgreesWithBruteForce) {
+  Rng rng(123);
+  for (int round = 0; round < 20; ++round) {
+    const std::uint32_t vars = 6 + rng.below(4);
+    Solver s;
+    for (std::uint32_t v = 0; v < vars; ++v) s.newVar();
+    std::vector<std::vector<SLit>> cnf;
+    for (int step = 0; step < 4; ++step) {
+      for (int add = 0; add < 6; ++add) {
+        std::vector<SLit> clause;
+        const std::uint32_t len = 1 + rng.below(3);
+        for (std::uint32_t j = 0; j < len; ++j) {
+          clause.push_back(
+              SLit::make(static_cast<Var>(rng.below(vars)), rng.chance(1, 2)));
+        }
+        cnf.push_back(clause);
+        s.addClause(clause);
+      }
+      const bool expected = bruteForceSat(vars, cnf);
+      ASSERT_EQ(s.solve(), expected ? Status::Sat : Status::Unsat);
+      if (!expected) break;  // once unsat, always unsat
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eco::sat

@@ -1,0 +1,140 @@
+// Edge-case tests for the SAT solver's incremental interface: budget
+// semantics, reuse after UNSAT, degenerate formulas, clause normalization.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "sat/solver.h"
+
+namespace eco::sat {
+namespace {
+
+SLit pos(Var v) { return SLit::make(v, false); }
+SLit neg(Var v) { return SLit::make(v, true); }
+
+TEST(SolverEdge, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), Status::Sat);
+  s.newVar();
+  EXPECT_EQ(s.solve(), Status::Sat);
+}
+
+TEST(SolverEdge, SolverStaysUnsatAfterGlobalConflict) {
+  Solver s;
+  const Var a = s.newVar();
+  s.addClause({pos(a)});
+  s.addClause({neg(a)});
+  EXPECT_EQ(s.solve(), Status::Unsat);
+  EXPECT_EQ(s.solve(), Status::Unsat);
+  // Adding more clauses cannot resurrect it.
+  const Var b = s.newVar();
+  s.addClause({pos(b)});
+  EXPECT_EQ(s.solve(), Status::Unsat);
+}
+
+TEST(SolverEdge, BudgetIsPerSolveCall) {
+  // Build a moderately hard pigeonhole; a starved call returns Undef, a
+  // later unrestricted call on the same solver finishes.
+  const int P = 7, H = 6;
+  Solver s;
+  std::vector<std::vector<Var>> v(P, std::vector<Var>(H));
+  for (auto& row : v) {
+    for (auto& var : row) var = s.newVar();
+  }
+  for (int p = 0; p < P; ++p) {
+    std::vector<SLit> c;
+    for (int h = 0; h < H; ++h) c.push_back(pos(v[p][h]));
+    s.addClause(c);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        s.addClause({neg(v[p1][h]), neg(v[p2][h])});
+      }
+    }
+  }
+  s.setConflictBudget(5);
+  EXPECT_EQ(s.solve(), Status::Undef);
+  s.setConflictBudget(5);
+  EXPECT_EQ(s.solve(), Status::Undef);  // relative budget: starved again
+  s.setConflictBudget(-1);
+  EXPECT_EQ(s.solve(), Status::Unsat);
+}
+
+TEST(SolverEdge, TautologicalAndDuplicateClauses) {
+  Solver s;
+  const Var a = s.newVar(), b = s.newVar();
+  EXPECT_EQ(s.addClause({pos(a), neg(a)}), kNoClause);  // tautology dropped
+  const ClauseId id = s.addClause({pos(a), pos(a), pos(b)});
+  EXPECT_NE(id, kNoClause);
+  EXPECT_EQ(s.clauseLits(id).size(), 2u);  // deduplicated
+  EXPECT_EQ(s.solve({neg(a)}), Status::Sat);
+  EXPECT_EQ(s.modelValue(b), LBool::True);
+}
+
+TEST(SolverEdge, SatisfiedAtRootClauseDropped) {
+  Solver s;
+  const Var a = s.newVar(), b = s.newVar();
+  s.addClause({pos(a)});
+  EXPECT_EQ(s.addClause({pos(a), pos(b)}), kNoClause);  // subsumed by unit
+  EXPECT_EQ(s.solve(), Status::Sat);
+}
+
+TEST(SolverEdge, AssumptionOnlyConflictLeavesSolverUsable) {
+  Solver s;
+  const Var a = s.newVar(), b = s.newVar();
+  s.addClause({neg(a), pos(b)});
+  s.addClause({neg(a), neg(b)});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(s.solve({pos(a)}), Status::Unsat);
+    EXPECT_EQ(s.solve({neg(a)}), Status::Sat);
+  }
+}
+
+TEST(SolverEdge, ManyAssumptions) {
+  Solver s;
+  std::vector<Var> vars;
+  std::vector<SLit> assumptions;
+  for (int i = 0; i < 200; ++i) {
+    vars.push_back(s.newVar());
+    assumptions.push_back(pos(vars.back()));
+  }
+  // Chain: v0 -> v1 -> ... forces consistency with the assumptions.
+  for (int i = 0; i + 1 < 200; ++i) {
+    s.addClause({neg(vars[i]), pos(vars[i + 1])});
+  }
+  EXPECT_EQ(s.solve(assumptions), Status::Sat);
+  s.addClause({neg(vars[199])});
+  EXPECT_EQ(s.solve(assumptions), Status::Unsat);
+  // Core must include some assumption (v199's ancestors or itself).
+  EXPECT_FALSE(s.failedAssumptions().empty());
+}
+
+TEST(SolverEdge, ModelConsistencyOnRandomSat) {
+  Rng rng(5);
+  for (int round = 0; round < 10; ++round) {
+    Solver s;
+    const std::uint32_t n = 12;
+    for (std::uint32_t i = 0; i < n; ++i) s.newVar();
+    std::vector<std::vector<SLit>> cnf;
+    for (int c = 0; c < 30; ++c) {
+      std::vector<SLit> clause;
+      for (int j = 0; j < 3; ++j) {
+        clause.push_back(SLit::make(static_cast<Var>(rng.below(n)),
+                                    rng.chance(1, 2)));
+      }
+      cnf.push_back(clause);
+      s.addClause(clause);
+    }
+    if (s.solve() != Status::Sat) continue;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      // SLit and Var accessors agree.
+      EXPECT_EQ(s.modelValue(pos(v)), s.modelValue(v));
+      EXPECT_EQ(s.modelValue(neg(v)) == LBool::True,
+                s.modelValue(v) == LBool::False);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eco::sat
