@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compress_ablation.dir/bench_compress_ablation.cpp.o"
+  "CMakeFiles/bench_compress_ablation.dir/bench_compress_ablation.cpp.o.d"
+  "bench_compress_ablation"
+  "bench_compress_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compress_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

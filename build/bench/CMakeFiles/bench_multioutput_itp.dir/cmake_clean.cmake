@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multioutput_itp.dir/bench_multioutput_itp.cpp.o"
+  "CMakeFiles/bench_multioutput_itp.dir/bench_multioutput_itp.cpp.o.d"
+  "bench_multioutput_itp"
+  "bench_multioutput_itp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multioutput_itp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prior_incomplete.dir/bench_prior_incomplete.cpp.o"
+  "CMakeFiles/bench_prior_incomplete.dir/bench_prior_incomplete.cpp.o.d"
+  "bench_prior_incomplete"
+  "bench_prior_incomplete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prior_incomplete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_techmap.dir/bench_techmap.cpp.o"
+  "CMakeFiles/bench_techmap.dir/bench_techmap.cpp.o.d"
+  "bench_techmap"
+  "bench_techmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_techmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_watch_sweep.dir/bench_watch_sweep.cpp.o"
+  "CMakeFiles/bench_watch_sweep.dir/bench_watch_sweep.cpp.o.d"
+  "bench_watch_sweep"
+  "bench_watch_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_watch_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

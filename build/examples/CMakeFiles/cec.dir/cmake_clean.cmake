@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cec.dir/cec.cpp.o"
+  "CMakeFiles/cec.dir/cec.cpp.o.d"
+  "cec"
+  "cec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_aware_rebase.dir/cost_aware_rebase.cpp.o"
+  "CMakeFiles/cost_aware_rebase.dir/cost_aware_rebase.cpp.o.d"
+  "cost_aware_rebase"
+  "cost_aware_rebase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_aware_rebase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_and_patch.dir/diagnose_and_patch.cpp.o"
+  "CMakeFiles/diagnose_and_patch.dir/diagnose_and_patch.cpp.o.d"
+  "diagnose_and_patch"
+  "diagnose_and_patch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_and_patch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecopatch_cli.dir/ecopatch_cli.cpp.o"
+  "CMakeFiles/ecopatch_cli.dir/ecopatch_cli.cpp.o.d"
+  "ecopatch_cli"
+  "ecopatch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecopatch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_benchmarks.dir/make_benchmarks.cpp.o"
+  "CMakeFiles/make_benchmarks.dir/make_benchmarks.cpp.o.d"
+  "make_benchmarks"
+  "make_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_patch.dir/map_patch.cpp.o"
+  "CMakeFiles/map_patch.dir/map_patch.cpp.o.d"
+  "map_patch"
+  "map_patch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_patch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_aig.dir/aig.cpp.o"
+  "CMakeFiles/eco_aig.dir/aig.cpp.o.d"
+  "CMakeFiles/eco_aig.dir/aig_ops.cpp.o"
+  "CMakeFiles/eco_aig.dir/aig_ops.cpp.o.d"
+  "libeco_aig.a"
+  "libeco_aig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_aig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

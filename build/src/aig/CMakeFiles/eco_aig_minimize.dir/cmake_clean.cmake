@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_aig_minimize.dir/minimize.cpp.o"
+  "CMakeFiles/eco_aig_minimize.dir/minimize.cpp.o.d"
+  "libeco_aig_minimize.a"
+  "libeco_aig_minimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_aig_minimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeco_aig_minimize.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_base.dir/rng.cpp.o"
+  "CMakeFiles/eco_base.dir/rng.cpp.o.d"
+  "CMakeFiles/eco_base.dir/timer.cpp.o"
+  "CMakeFiles/eco_base.dir/timer.cpp.o.d"
+  "libeco_base.a"
+  "libeco_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

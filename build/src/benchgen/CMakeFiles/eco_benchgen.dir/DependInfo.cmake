@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchgen/benchgen.cpp" "src/benchgen/CMakeFiles/eco_benchgen.dir/benchgen.cpp.o" "gcc" "src/benchgen/CMakeFiles/eco_benchgen.dir/benchgen.cpp.o.d"
+  "/root/repo/src/benchgen/families.cpp" "src/benchgen/CMakeFiles/eco_benchgen.dir/families.cpp.o" "gcc" "src/benchgen/CMakeFiles/eco_benchgen.dir/families.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eco/CMakeFiles/eco_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/aig/CMakeFiles/eco_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/eco_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/aig/CMakeFiles/eco_aig_minimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/itp/CMakeFiles/eco_itp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fraig/CMakeFiles/eco_fraig.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/eco_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/eco_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eco_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

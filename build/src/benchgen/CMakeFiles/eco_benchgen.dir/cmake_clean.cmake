@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_benchgen.dir/benchgen.cpp.o"
+  "CMakeFiles/eco_benchgen.dir/benchgen.cpp.o.d"
+  "CMakeFiles/eco_benchgen.dir/families.cpp.o"
+  "CMakeFiles/eco_benchgen.dir/families.cpp.o.d"
+  "libeco_benchgen.a"
+  "libeco_benchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

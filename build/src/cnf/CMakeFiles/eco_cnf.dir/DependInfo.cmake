@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cnf/cnf.cpp" "src/cnf/CMakeFiles/eco_cnf.dir/cnf.cpp.o" "gcc" "src/cnf/CMakeFiles/eco_cnf.dir/cnf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aig/CMakeFiles/eco_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/eco_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/eco_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_cnf.dir/cnf.cpp.o"
+  "CMakeFiles/eco_cnf.dir/cnf.cpp.o.d"
+  "libeco_cnf.a"
+  "libeco_cnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_cnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

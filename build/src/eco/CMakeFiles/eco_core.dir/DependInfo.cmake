@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eco/baseline.cpp" "src/eco/CMakeFiles/eco_core.dir/baseline.cpp.o" "gcc" "src/eco/CMakeFiles/eco_core.dir/baseline.cpp.o.d"
+  "/root/repo/src/eco/candidates.cpp" "src/eco/CMakeFiles/eco_core.dir/candidates.cpp.o" "gcc" "src/eco/CMakeFiles/eco_core.dir/candidates.cpp.o.d"
+  "/root/repo/src/eco/clustering.cpp" "src/eco/CMakeFiles/eco_core.dir/clustering.cpp.o" "gcc" "src/eco/CMakeFiles/eco_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/eco/costopt.cpp" "src/eco/CMakeFiles/eco_core.dir/costopt.cpp.o" "gcc" "src/eco/CMakeFiles/eco_core.dir/costopt.cpp.o.d"
+  "/root/repo/src/eco/diagnosis.cpp" "src/eco/CMakeFiles/eco_core.dir/diagnosis.cpp.o" "gcc" "src/eco/CMakeFiles/eco_core.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/eco/engine.cpp" "src/eco/CMakeFiles/eco_core.dir/engine.cpp.o" "gcc" "src/eco/CMakeFiles/eco_core.dir/engine.cpp.o.d"
+  "/root/repo/src/eco/localization.cpp" "src/eco/CMakeFiles/eco_core.dir/localization.cpp.o" "gcc" "src/eco/CMakeFiles/eco_core.dir/localization.cpp.o.d"
+  "/root/repo/src/eco/patchgen.cpp" "src/eco/CMakeFiles/eco_core.dir/patchgen.cpp.o" "gcc" "src/eco/CMakeFiles/eco_core.dir/patchgen.cpp.o.d"
+  "/root/repo/src/eco/rebase.cpp" "src/eco/CMakeFiles/eco_core.dir/rebase.cpp.o" "gcc" "src/eco/CMakeFiles/eco_core.dir/rebase.cpp.o.d"
+  "/root/repo/src/eco/rectifiability.cpp" "src/eco/CMakeFiles/eco_core.dir/rectifiability.cpp.o" "gcc" "src/eco/CMakeFiles/eco_core.dir/rectifiability.cpp.o.d"
+  "/root/repo/src/eco/relations.cpp" "src/eco/CMakeFiles/eco_core.dir/relations.cpp.o" "gcc" "src/eco/CMakeFiles/eco_core.dir/relations.cpp.o.d"
+  "/root/repo/src/eco/report.cpp" "src/eco/CMakeFiles/eco_core.dir/report.cpp.o" "gcc" "src/eco/CMakeFiles/eco_core.dir/report.cpp.o.d"
+  "/root/repo/src/eco/verify.cpp" "src/eco/CMakeFiles/eco_core.dir/verify.cpp.o" "gcc" "src/eco/CMakeFiles/eco_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aig/CMakeFiles/eco_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/aig/CMakeFiles/eco_aig_minimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/eco_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnf/CMakeFiles/eco_cnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/itp/CMakeFiles/eco_itp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fraig/CMakeFiles/eco_fraig.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/eco_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

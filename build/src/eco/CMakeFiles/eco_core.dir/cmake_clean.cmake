@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_core.dir/baseline.cpp.o"
+  "CMakeFiles/eco_core.dir/baseline.cpp.o.d"
+  "CMakeFiles/eco_core.dir/candidates.cpp.o"
+  "CMakeFiles/eco_core.dir/candidates.cpp.o.d"
+  "CMakeFiles/eco_core.dir/clustering.cpp.o"
+  "CMakeFiles/eco_core.dir/clustering.cpp.o.d"
+  "CMakeFiles/eco_core.dir/costopt.cpp.o"
+  "CMakeFiles/eco_core.dir/costopt.cpp.o.d"
+  "CMakeFiles/eco_core.dir/diagnosis.cpp.o"
+  "CMakeFiles/eco_core.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/eco_core.dir/engine.cpp.o"
+  "CMakeFiles/eco_core.dir/engine.cpp.o.d"
+  "CMakeFiles/eco_core.dir/localization.cpp.o"
+  "CMakeFiles/eco_core.dir/localization.cpp.o.d"
+  "CMakeFiles/eco_core.dir/patchgen.cpp.o"
+  "CMakeFiles/eco_core.dir/patchgen.cpp.o.d"
+  "CMakeFiles/eco_core.dir/rebase.cpp.o"
+  "CMakeFiles/eco_core.dir/rebase.cpp.o.d"
+  "CMakeFiles/eco_core.dir/rectifiability.cpp.o"
+  "CMakeFiles/eco_core.dir/rectifiability.cpp.o.d"
+  "CMakeFiles/eco_core.dir/relations.cpp.o"
+  "CMakeFiles/eco_core.dir/relations.cpp.o.d"
+  "CMakeFiles/eco_core.dir/report.cpp.o"
+  "CMakeFiles/eco_core.dir/report.cpp.o.d"
+  "CMakeFiles/eco_core.dir/verify.cpp.o"
+  "CMakeFiles/eco_core.dir/verify.cpp.o.d"
+  "libeco_core.a"
+  "libeco_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

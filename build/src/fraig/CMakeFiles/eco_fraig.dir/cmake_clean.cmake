@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_fraig.dir/fraig.cpp.o"
+  "CMakeFiles/eco_fraig.dir/fraig.cpp.o.d"
+  "libeco_fraig.a"
+  "libeco_fraig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_fraig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

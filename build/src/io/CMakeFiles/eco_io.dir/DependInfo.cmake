@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/aiger.cpp" "src/io/CMakeFiles/eco_io.dir/aiger.cpp.o" "gcc" "src/io/CMakeFiles/eco_io.dir/aiger.cpp.o.d"
+  "/root/repo/src/io/blif.cpp" "src/io/CMakeFiles/eco_io.dir/blif.cpp.o" "gcc" "src/io/CMakeFiles/eco_io.dir/blif.cpp.o.d"
+  "/root/repo/src/io/instance_io.cpp" "src/io/CMakeFiles/eco_io.dir/instance_io.cpp.o" "gcc" "src/io/CMakeFiles/eco_io.dir/instance_io.cpp.o.d"
+  "/root/repo/src/io/verilog.cpp" "src/io/CMakeFiles/eco_io.dir/verilog.cpp.o" "gcc" "src/io/CMakeFiles/eco_io.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aig/CMakeFiles/eco_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/eco_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_io.dir/aiger.cpp.o"
+  "CMakeFiles/eco_io.dir/aiger.cpp.o.d"
+  "CMakeFiles/eco_io.dir/blif.cpp.o"
+  "CMakeFiles/eco_io.dir/blif.cpp.o.d"
+  "CMakeFiles/eco_io.dir/instance_io.cpp.o"
+  "CMakeFiles/eco_io.dir/instance_io.cpp.o.d"
+  "CMakeFiles/eco_io.dir/verilog.cpp.o"
+  "CMakeFiles/eco_io.dir/verilog.cpp.o.d"
+  "libeco_io.a"
+  "libeco_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_itp.dir/itp.cpp.o"
+  "CMakeFiles/eco_itp.dir/itp.cpp.o.d"
+  "libeco_itp.a"
+  "libeco_itp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_itp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

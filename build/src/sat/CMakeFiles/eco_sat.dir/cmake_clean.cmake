@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_sat.dir/solver.cpp.o"
+  "CMakeFiles/eco_sat.dir/solver.cpp.o.d"
+  "libeco_sat.a"
+  "libeco_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_sim.dir/sim.cpp.o"
+  "CMakeFiles/eco_sim.dir/sim.cpp.o.d"
+  "libeco_sim.a"
+  "libeco_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_techmap.dir/library.cpp.o"
+  "CMakeFiles/eco_techmap.dir/library.cpp.o.d"
+  "CMakeFiles/eco_techmap.dir/mapper.cpp.o"
+  "CMakeFiles/eco_techmap.dir/mapper.cpp.o.d"
+  "libeco_techmap.a"
+  "libeco_techmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_techmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for eco_techmap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_costopt_property.dir/test_costopt_property.cpp.o"
+  "CMakeFiles/test_costopt_property.dir/test_costopt_property.cpp.o.d"
+  "test_costopt_property"
+  "test_costopt_property.pdb"
+  "test_costopt_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_costopt_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

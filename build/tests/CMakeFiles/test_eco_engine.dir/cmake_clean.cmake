@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eco_engine.dir/test_eco_engine.cpp.o"
+  "CMakeFiles/test_eco_engine.dir/test_eco_engine.cpp.o.d"
+  "test_eco_engine"
+  "test_eco_engine.pdb"
+  "test_eco_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eco_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

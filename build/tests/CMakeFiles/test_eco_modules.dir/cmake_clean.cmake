@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eco_modules.dir/test_eco_modules.cpp.o"
+  "CMakeFiles/test_eco_modules.dir/test_eco_modules.cpp.o.d"
+  "test_eco_modules"
+  "test_eco_modules.pdb"
+  "test_eco_modules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eco_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

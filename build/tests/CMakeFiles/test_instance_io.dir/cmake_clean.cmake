@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instance_io.dir/test_instance_io.cpp.o"
+  "CMakeFiles/test_instance_io.dir/test_instance_io.cpp.o.d"
+  "test_instance_io"
+  "test_instance_io.pdb"
+  "test_instance_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instance_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

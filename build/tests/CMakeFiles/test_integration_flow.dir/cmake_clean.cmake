@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_flow.dir/test_integration_flow.cpp.o"
+  "CMakeFiles/test_integration_flow.dir/test_integration_flow.cpp.o.d"
+  "test_integration_flow"
+  "test_integration_flow.pdb"
+  "test_integration_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_itp.dir/test_itp.cpp.o"
+  "CMakeFiles/test_itp.dir/test_itp.cpp.o.d"
+  "test_itp"
+  "test_itp.pdb"
+  "test_itp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_itp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

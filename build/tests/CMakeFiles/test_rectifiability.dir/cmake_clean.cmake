@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rectifiability.dir/test_rectifiability.cpp.o"
+  "CMakeFiles/test_rectifiability.dir/test_rectifiability.cpp.o.d"
+  "test_rectifiability"
+  "test_rectifiability.pdb"
+  "test_rectifiability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rectifiability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

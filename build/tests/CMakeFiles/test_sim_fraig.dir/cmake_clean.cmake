@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_fraig.dir/test_sim_fraig.cpp.o"
+  "CMakeFiles/test_sim_fraig.dir/test_sim_fraig.cpp.o.d"
+  "test_sim_fraig"
+  "test_sim_fraig.pdb"
+  "test_sim_fraig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_fraig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_edge.dir/test_solver_edge.cpp.o"
+  "CMakeFiles/test_solver_edge.dir/test_solver_edge.cpp.o.d"
+  "test_solver_edge"
+  "test_solver_edge.pdb"
+  "test_solver_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_aig[1]_include.cmake")
+include("/root/repo/build/tests/test_sat[1]_include.cmake")
+include("/root/repo/build/tests/test_itp[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_fraig[1]_include.cmake")
+include("/root/repo/build/tests/test_cnf[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_eco_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_eco_modules[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_benchgen[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_flow[1]_include.cmake")
+include("/root/repo/build/tests/test_proof[1]_include.cmake")
+include("/root/repo/build/tests/test_rectifiability[1]_include.cmake")
+include("/root/repo/build/tests/test_minimize[1]_include.cmake")
+include("/root/repo/build/tests/test_aiger[1]_include.cmake")
+include("/root/repo/build/tests/test_blif[1]_include.cmake")
+include("/root/repo/build/tests/test_costopt_property[1]_include.cmake")
+include("/root/repo/build/tests/test_instance_io[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_options[1]_include.cmake")
+include("/root/repo/build/tests/test_diagnosis[1]_include.cmake")
+include("/root/repo/build/tests/test_techmap[1]_include.cmake")
+include("/root/repo/build/tests/test_workspace[1]_include.cmake")
+include("/root/repo/build/tests/test_localization_property[1]_include.cmake")
