@@ -1,0 +1,181 @@
+// Parallel scaling of the ECO engine (thread pool, DESIGN.md "Parallel
+// architecture"): sweeps worker counts {1, 2, 4, 8} over a tiled
+// multi-cluster instance and emits one JSON document with per-stage
+// wall-clock, solver-call counters, and speedup relative to the
+// single-thread run.
+//
+// The workload tiles K independent benchgen units into one EcoInstance so
+// the engine sees K-plus clusters — the unit of per-cluster parallelism.
+// Cost optimization is disabled by default: it is intentionally sequential
+// (globally stateful base selection), so including it would only dilute
+// the stages this bench measures. The patch must be bit-identical across
+// all worker counts; any divergence is reported and fails the bench.
+//
+// Usage: bench_parallel_scaling [tiles] [size_param] [num_targets]
+// Defaults (6, 16, 5) finish in under a minute on one core. Speedup > 1
+// requires actual hardware parallelism; on a single-CPU machine the
+// interesting output is the overhead column staying near 1.0.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "aig/aig_ops.h"
+#include "base/thread_pool.h"
+#include "benchgen/benchgen.h"
+#include "eco/engine.h"
+
+namespace eco {
+namespace {
+
+/// Splice independent benchgen units into one instance: the parts' X
+/// inputs come first (so num_x stays a prefix), then every part's target
+/// pseudo-PIs; cones, PO names, named signals, and weights are copied with
+/// a "uN/" prefix. Each part keeps its own output cones, so clustering
+/// recovers at least one cluster per part.
+EcoInstance tileUnits(const std::vector<benchgen::UnitSpec>& specs,
+                      const std::string& name) {
+  std::vector<EcoInstance> parts;
+  parts.reserve(specs.size());
+  for (const benchgen::UnitSpec& s : specs) {
+    parts.push_back(benchgen::generateUnit(s));
+  }
+
+  EcoInstance out;
+  out.name = name;
+  std::vector<VarMap> fmap(parts.size());
+  std::vector<VarMap> gmap(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const EcoInstance& p = parts[i];
+    const std::string pre = "u" + std::to_string(i) + "/";
+    for (std::uint32_t x = 0; x < p.num_x; ++x) {
+      const std::string nm = pre + p.faulty.piName(x);
+      fmap[i][p.faulty.piVar(x)] = out.faulty.addPi(nm);
+      gmap[i][p.golden.piVar(x)] = out.golden.addPi(nm);
+    }
+    out.num_x += p.num_x;
+  }
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const EcoInstance& p = parts[i];
+    const std::string pre = "u" + std::to_string(i) + "/";
+    for (std::uint32_t k = p.num_x; k < p.faulty.numPis(); ++k) {
+      fmap[i][p.faulty.piVar(k)] = out.faulty.addPi(pre + p.faulty.piName(k));
+    }
+  }
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const EcoInstance& p = parts[i];
+    const std::string pre = "u" + std::to_string(i) + "/";
+    std::vector<Lit> fr, gr;
+    for (std::uint32_t j = 0; j < p.faulty.numPos(); ++j) {
+      fr.push_back(p.faulty.poDriver(j));
+    }
+    for (std::uint32_t j = 0; j < p.golden.numPos(); ++j) {
+      gr.push_back(p.golden.poDriver(j));
+    }
+    const std::vector<Lit> fo = copyCones(p.faulty, fr, fmap[i], out.faulty);
+    const std::vector<Lit> go = copyCones(p.golden, gr, gmap[i], out.golden);
+    for (std::size_t j = 0; j < fo.size(); ++j) {
+      out.faulty.addPo(fo[j], pre + p.faulty.poName(static_cast<std::uint32_t>(j)));
+    }
+    for (std::size_t j = 0; j < go.size(); ++j) {
+      out.golden.addPo(go[j], pre + p.golden.poName(static_cast<std::uint32_t>(j)));
+    }
+    for (const auto& [nm, lit] : p.faulty.namedSignals()) {
+      const auto it = fmap[i].find(lit.var());
+      if (it != fmap[i].end()) {
+        out.faulty.setSignalName(it->second ^ lit.complemented(), pre + nm);
+      }
+    }
+    for (const auto& [nm, w] : p.weights) out.weights[pre + nm] = w;
+  }
+  return out;
+}
+
+struct RunSample {
+  std::uint32_t threads = 0;
+  PatchResult result;
+  double seconds = 0;
+};
+
+}  // namespace
+}  // namespace eco
+
+int main(int argc, char** argv) {
+  using namespace eco;
+
+  const unsigned tiles = argc > 1 ? std::atoi(argv[1]) : 6;
+  const unsigned size_param = argc > 2 ? std::atoi(argv[2]) : 16;
+  const unsigned num_targets = argc > 3 ? std::atoi(argv[3]) : 5;
+
+  std::vector<benchgen::UnitSpec> specs;
+  for (unsigned i = 0; i < tiles; ++i) {
+    specs.push_back({.name = "p" + std::to_string(i),
+                     .family = benchgen::Family::Parity,
+                     .size_param = size_param,
+                     .num_targets = num_targets,
+                     .seed = 900 + i});
+  }
+  const EcoInstance inst = tileUnits(specs, "tiled_parity");
+
+  std::vector<RunSample> samples;
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    EcoOptions opt;
+    opt.num_threads = threads;
+    opt.use_cost_opt = false;
+    const auto t0 = std::chrono::steady_clock::now();
+    RunSample s;
+    s.threads = threads;
+    s.result = EcoEngine(opt).run(inst);
+    s.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    samples.push_back(std::move(s));
+    std::fprintf(stderr, "threads=%u done in %.2fs\n", threads,
+                 samples.back().seconds);
+  }
+
+  const RunSample& ref = samples.front();
+  bool deterministic = true;
+  bool all_ok = true;
+  for (const RunSample& s : samples) {
+    all_ok = all_ok && s.result.success;
+    deterministic = deterministic && s.result.cost == ref.result.cost &&
+                    s.result.size == ref.result.size &&
+                    s.result.num_clusters == ref.result.num_clusters;
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"parallel_scaling\",\n");
+  std::printf(
+      "  \"workload\": {\"instance\": \"%s\", \"tiles\": %u, "
+      "\"size_param\": %u, \"num_targets\": %u, \"clusters\": %u, "
+      "\"cost_opt\": false},\n",
+      inst.name.c_str(), tiles, size_param, num_targets,
+      ref.result.num_clusters);
+  std::printf("  \"hardware_threads\": %u,\n", ThreadPool::defaultThreads());
+  std::printf("  \"runs\": [\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const RunSample& s = samples[i];
+    std::printf(
+        "    {\"threads\": %u, \"ok\": %s, \"total_seconds\": %.3f, "
+        "\"fraig_seconds\": %.3f, \"patchgen_seconds\": %.3f, "
+        "\"verify_seconds\": %.3f, \"fraig_sat_queries\": %llu, "
+        "\"fraig_rounds\": %u, \"cost\": %.1f, \"size\": %u, "
+        "\"speedup_vs_1\": %.3f}%s\n",
+        s.threads, s.result.success ? "true" : "false", s.seconds,
+        s.result.fraig_seconds, s.result.patchgen_seconds,
+        s.result.verify_seconds,
+        static_cast<unsigned long long>(s.result.fraig_sat_queries),
+        s.result.fraig_rounds, s.result.cost, s.result.size,
+        s.seconds > 0 ? ref.seconds / s.seconds : 0.0,
+        i + 1 < samples.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"deterministic\": %s,\n", deterministic ? "true" : "false");
+  std::printf("  \"all_ok\": %s\n", all_ok ? "true" : "false");
+  std::printf("}\n");
+
+  return all_ok && deterministic ? 0 : 1;
+}

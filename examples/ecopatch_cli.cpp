@@ -11,6 +11,8 @@
 //   --watch N              |Watch| group size (default 5)
 //   --rounds N             optimization rounds (default 2)
 //   --seed N               RNG seed
+//   --threads N            worker threads (0 = hardware concurrency,
+//                          1 = sequential; default 0)
 //   --quiet                suppress the stage report
 //
 // Exit codes: 0 patched+verified, 1 usage/parse error, 2 unrectifiable.
@@ -45,7 +47,7 @@ std::string readFile(const std::string& path) {
                "usage: ecopatch_cli -f faulty.v -g golden.v -w weights.txt "
                "[-o patch.v] [--no-localization] [--no-cost-opt] "
                "[--no-minimize] [--itp-first] [--pi-only] [--watch N] "
-               "[--rounds N] [--seed N] [--quiet]\n");
+               "[--rounds N] [--seed N] [--threads N] [--quiet]\n");
   std::exit(1);
 }
 
@@ -88,6 +90,8 @@ int main(int argc, char** argv) {
       opt.opt_rounds = static_cast<std::uint32_t>(std::atoi(next()));
     } else if (a == "--seed") {
       opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (a == "--threads") {
+      opt.num_threads = static_cast<std::uint32_t>(std::atoi(next()));
     } else if (a == "--quiet") {
       quiet = true;
     } else {

@@ -1,0 +1,137 @@
+#include "base/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+#include "base/check.h"
+
+namespace eco {
+
+unsigned ThreadPool::defaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  // Clamp to a sane ceiling: a bogus request (e.g. a negative CLI value
+  // cast through unsigned) must not try to spawn billions of OS threads —
+  // and a std::thread constructor failing mid-loop would terminate the
+  // process via the joinable-thread destructors.
+  constexpr unsigned kMaxWorkers = 256;
+  unsigned n = num_threads == 0 ? defaultThreads() : num_threads;
+  if (n > kMaxWorkers) n = kMaxWorkers;
+  queues_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { workerMain(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(Task task) {
+  ECO_CHECK_MSG(!workers_.empty(), "submit on a dead pool");
+  std::size_t index;
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    ECO_CHECK_MSG(!stop_, "submit during shutdown");
+    index = next_queue_++ % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[index]->mutex);
+    queues_[index]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    ++queued_;
+  }
+  sleep_cv_.notify_one();
+}
+
+ThreadPool::Task ThreadPool::popLocal(unsigned index) {
+  WorkerQueue& q = *queues_[index];
+  std::lock_guard<std::mutex> lock(q.mutex);
+  if (q.tasks.empty()) return Task();
+  Task t = std::move(q.tasks.back());
+  q.tasks.pop_back();
+  return t;
+}
+
+ThreadPool::Task ThreadPool::stealFrom(unsigned index) {
+  const unsigned n = static_cast<unsigned>(queues_.size());
+  for (unsigned k = 1; k < n; ++k) {
+    WorkerQueue& q = *queues_[(index + k) % n];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty()) continue;
+    Task t = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    return t;
+  }
+  return Task();
+}
+
+void ThreadPool::workerMain(unsigned index) {
+  for (;;) {
+    Task task = popLocal(index);
+    if (!task) task = stealFrom(index);
+    if (task) {
+      {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        --queued_;
+      }
+      task();  // packaged_task captures any exception into its future
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) return;  // graceful: drained before exit
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (numWorkers() < 2 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  struct ForState {
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<ForState>();
+  const auto drive = [state, n, &body] {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->error_mutex);
+        if (!state->error) state->error = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min<std::size_t>(numWorkers(), n) - 1;
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) futures.push_back(submit(drive));
+  drive();  // the caller participates instead of blocking idle
+  for (std::future<void>& f : futures) f.get();
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace eco

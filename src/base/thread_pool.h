@@ -1,0 +1,119 @@
+#pragma once
+// Work-stealing thread pool for the parallel ECO stages.
+//
+// A fixed set of workers each owns a deque of tasks: a worker pops from the
+// back of its own deque (LIFO, cache-friendly) and steals from the front of
+// a sibling's deque (FIFO, oldest first) when its own runs dry. submit()
+// distributes round-robin across the worker deques and returns a
+// std::future, so exceptions thrown by a task propagate to whoever waits on
+// its result. Destruction is a graceful shutdown: all tasks already
+// submitted are drained before the workers join.
+//
+// Determinism contract: the pool never adds nondeterminism by itself —
+// tasks run in an unspecified order on unspecified workers, so any caller
+// needing reproducible results must make its tasks independent and merge
+// their results in a caller-chosen order (see parallelFor and the FRAIG /
+// per-cluster merge barriers in DESIGN.md).
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace eco {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means one per hardware thread.
+  /// Requests are clamped to an internal ceiling (256) so a bogus count
+  /// cannot exhaust OS thread resources.
+  explicit ThreadPool(unsigned num_threads = 0);
+
+  /// Drains every submitted task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned numWorkers() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency() clamped to at least 1.
+  static unsigned defaultThreads();
+
+  /// Schedules `f` and returns a future for its result. A task that throws
+  /// stores the exception in the future (rethrown on .get()).
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    std::packaged_task<R()> task(std::forward<F>(f));
+    std::future<R> future = task.get_future();
+    enqueue(Task(std::move(task)));
+    return future;
+  }
+
+  /// Runs body(0..n-1) across the workers and the calling thread, blocking
+  /// until all indices finish. Indices are claimed dynamically (an atomic
+  /// cursor), so long and short items balance. The first exception thrown
+  /// by any index is rethrown here after every worker has stopped. With
+  /// fewer than two workers the loop runs inline on the caller — the exact
+  /// sequential path.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  /// Type-erased move-only callable (std::function requires copyable).
+  class Task {
+   public:
+    Task() = default;
+    template <typename F>
+    explicit Task(F f) : impl_(std::make_unique<Model<F>>(std::move(f))) {}
+    void operator()() { impl_->call(); }
+    explicit operator bool() const { return impl_ != nullptr; }
+
+   private:
+    struct Concept {
+      virtual ~Concept() = default;
+      virtual void call() = 0;
+    };
+    template <typename F>
+    struct Model final : Concept {
+      explicit Model(F f) : fn(std::move(f)) {}
+      void call() override { fn(); }
+      F fn;
+    };
+    std::unique_ptr<Concept> impl_;
+  };
+
+  /// One worker's task deque with its own lock (keeps steals cheap).
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void enqueue(Task task);
+  void workerMain(unsigned index);
+  /// Pops the back of queue `index`; empty Task when the deque is empty.
+  Task popLocal(unsigned index);
+  /// Steals the front of some other queue, scanning from `index + 1`.
+  Task stealFrom(unsigned index);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Sleep/wake signalling; `queued_` mirrors the total tasks sitting in the
+  // deques and is only touched under `sleep_mutex_` so wakeups are not lost.
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::size_t queued_ = 0;
+  bool stop_ = false;
+
+  std::size_t next_queue_ = 0;  ///< round-robin submit cursor
+};
+
+}  // namespace eco

@@ -7,6 +7,7 @@
 
 #include "aig/minimize.h"
 #include "base/check.h"
+#include "base/thread_pool.h"
 #include "base/timer.h"
 #include "eco/candidates.h"
 #include "eco/clustering.h"
@@ -75,6 +76,23 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
     return result;
   }
 
+  // Worker pool for the FRAIG and per-cluster stages. num_threads == 1
+  // keeps pool null, which routes every stage through the exact legacy
+  // sequential code path.
+  const std::uint32_t num_threads = options_.num_threads == 0
+                                        ? ThreadPool::defaultThreads()
+                                        : options_.num_threads;
+  std::optional<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  if (num_threads > 1) {
+    pool_storage.emplace(num_threads);
+    pool = &*pool_storage;
+  }
+  // Report the pool's actual worker count: ThreadPool clamps outlandish
+  // requests, and the legacy path is exactly one thread.
+  result.num_threads_used = pool != nullptr ? pool->numWorkers() : 1;
+  Timer stage_timer;
+
   Workspace ws = buildWorkspace(instance);
   const std::vector<TargetCluster> clusters = clusterTargets(instance);
   result.num_clusters = static_cast<std::uint32_t>(clusters.size());
@@ -90,7 +108,9 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
       if (!touched[j]) untouched.push_back(j);
     }
     if (!untouched.empty()) {
+      stage_timer.reset();
       VerifyOutcome v = verifyUntouchedOutputs(ws, untouched);
+      result.verify_seconds += stage_timer.seconds();
       if (!v.equivalent) {
         result.success = false;
         result.message =
@@ -106,11 +126,17 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
   // FRAIG stage (only needed when localization wants shared signals).
   std::optional<fraig::EquivClasses> classes;
   if (options_.use_localization) {
+    stage_timer.reset();
     std::vector<Lit> roots = ws.f_roots;
     roots.insert(roots.end(), ws.g_roots.begin(), ws.g_roots.end());
     fraig::Options fo;
     fo.seed = options_.seed;
-    classes = fraig::computeEquivClasses(ws.w, roots, fo);
+    fo.pool = pool;
+    fraig::Stats fstats;
+    classes = fraig::computeEquivClasses(ws.w, roots, fo, &fstats);
+    result.fraig_seconds = stage_timer.seconds();
+    result.fraig_sat_queries = fstats.sat_queries;
+    result.fraig_rounds = fstats.rounds;
   }
 
   std::vector<Candidate> candidates = collectCandidates(instance, ws);
@@ -119,32 +145,61 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
   }
 
   // Localization + initial multi-fix patch generation, per cluster.
+  // Clusters are independent (each task reads the shared workspace and
+  // candidate list, all const, and builds its own local network), so they
+  // are dispatched to the pool; results are merged in cluster-index order
+  // below so the output is identical regardless of the worker count.
+  stage_timer.reset();
   std::vector<TargetPatch> patches(alpha);
-  for (const TargetCluster& cluster : clusters) {
-    LocalNetwork net =
-        buildLocalNetwork(instance, ws, cluster, candidates,
-                          options_.use_localization ? &*classes : nullptr);
-    result.cut_size += static_cast<std::uint32_t>(net.bases.size());
-    ClusterPatchResult cp = dependentPatchGen(cluster, net, options_);
-    result.itp_failures += cp.itp_failures;
-    for (std::size_t i = 0; i < cluster.targets.size(); ++i) {
-      patches[cluster.targets[i]] = std::move(cp.patches[i]);
+  {
+    std::vector<ClusterPatchResult> cluster_results(clusters.size());
+    std::vector<std::uint32_t> cluster_cut(clusters.size(), 0);
+    const auto runCluster = [&](std::size_t ci) {
+      const TargetCluster& cluster = clusters[ci];
+      LocalNetwork net =
+          buildLocalNetwork(instance, ws, cluster, candidates,
+                            options_.use_localization ? &*classes : nullptr);
+      cluster_cut[ci] = static_cast<std::uint32_t>(net.bases.size());
+      cluster_results[ci] = dependentPatchGen(cluster, net, options_);
+    };
+    if (pool != nullptr) {
+      pool->parallelFor(clusters.size(), runCluster);
+    } else {
+      for (std::size_t ci = 0; ci < clusters.size(); ++ci) runCluster(ci);
+    }
+    for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
+      result.cut_size += cluster_cut[ci];
+      result.itp_failures += cluster_results[ci].itp_failures;
+      for (std::size_t i = 0; i < clusters[ci].targets.size(); ++i) {
+        patches[clusters[ci].targets[i]] =
+            std::move(cluster_results[ci].patches[i]);
+      }
     }
   }
   if (options_.minimize_patches) {
-    MinimizeOptions mo;
-    mo.seed = options_.seed;
-    for (TargetPatch& p : patches) {
-      p.fn = minimizeAig(p.fn, mo);
-      pruneUnusedInputs(p);
+    // Per-patch minimization is deterministic in isolation (own seed), so
+    // patch order carries no state and the loop parallelizes directly.
+    const auto minimizeOne = [&](std::size_t i) {
+      MinimizeOptions mo;
+      mo.seed = options_.seed;
+      patches[i].fn = minimizeAig(patches[i].fn, mo);
+      pruneUnusedInputs(patches[i]);
+    };
+    if (pool != nullptr) {
+      pool->parallelFor(patches.size(), minimizeOne);
+    } else {
+      for (std::size_t i = 0; i < patches.size(); ++i) minimizeOne(i);
     }
   }
+  result.patchgen_seconds = stage_timer.seconds();
 
   // Soundness gate: the initial patch must verify. The generation procedure
   // is complete for this formulation, so failure here means the instance is
   // not rectifiable through the given targets.
   {
+    stage_timer.reset();
     VerifyOutcome v = verifyPatches(ws, patches);
+    result.verify_seconds += stage_timer.seconds();
     if (!v.equivalent) {
       result.success = false;
       result.message = "unrectifiable: initial patch fails verification at output " +
@@ -161,6 +216,7 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
   // Cost optimization (Sec. 6): per-target rebasing with Watch/Hold/CPB
   // base selection, holding the other targets' patches fixed.
   if (options_.use_cost_opt) {
+    stage_timer.reset();
     // Cheapest-first candidate cap; per-target bases are appended below.
     std::vector<std::uint32_t> cheap_order(candidates.size());
     for (std::uint32_t i = 0; i < candidates.size(); ++i) cheap_order[i] = i;
@@ -279,11 +335,14 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
       }
       if (!improved) break;
     }
+    result.opt_seconds = stage_timer.seconds();
   }
 
   // Final verification (defense in depth for the optimization stage).
   {
+    stage_timer.reset();
     const VerifyOutcome v = verifyPatches(ws, patches);
+    result.verify_seconds += stage_timer.seconds();
     ECO_CHECK_MSG(v.equivalent, "optimized patch failed verification");
   }
   assembleResult(instance, patches, result);

@@ -78,6 +78,16 @@ struct PatchResult {
   double initial_cost = 0;
   std::uint32_t itp_failures = 0;  ///< Sec. 4.3 interpolation fallbacks
   std::uint64_t sat_conflicts = 0;
+
+  // Per-stage wall-clock and solver-call counters (see DESIGN.md,
+  // "Parallel architecture"). The stage times sum to roughly `seconds`.
+  std::uint32_t num_threads_used = 1;   ///< resolved worker count of the run
+  double fraig_seconds = 0;             ///< FRAIG sweeping stage
+  double patchgen_seconds = 0;          ///< localization + per-cluster patchgen
+  double opt_seconds = 0;               ///< Sec. 6 cost optimization
+  double verify_seconds = 0;            ///< SAT verification gates
+  std::uint64_t fraig_sat_queries = 0;  ///< solve() calls in the FRAIG stage
+  std::uint32_t fraig_rounds = 0;       ///< FRAIG refinement rounds
 };
 
 struct EcoOptions {
@@ -107,6 +117,11 @@ struct EcoOptions {
   /// Charge zero for a base signal another target's patch already pays for
   /// (the contest cost counts each distinct base signal once).
   bool account_shared_bases = true;
+  /// Worker threads for FRAIG sweeping and per-cluster patch generation.
+  /// 0 = one per hardware thread; 1 = the exact sequential legacy path.
+  /// Results (patch, cost, size) are identical for every value — see the
+  /// determinism contract in DESIGN.md.
+  std::uint32_t num_threads = 0;
 };
 
 }  // namespace eco

@@ -106,23 +106,34 @@ ClusterPatchResult dependentPatchGen(const TargetCluster& cluster,
 
   // Phase 2: eliminate target-variable dependencies bottom-up:
   //   p_alpha = p'_alpha,  p_k = p'_k(t_{k+1}=p_{k+1}, ..., t_alpha=p_alpha).
+  //
+  // A FRAIG compress pass may have rebuilt a patch cone on a representative
+  // whose *structure* mentions an already-eliminated target variable even
+  // though the function is provably independent of it (the merge was
+  // SAT-proven over all PIs, and the pre-compress cone had no such
+  // dependence). Such vacuous occurrences are grounded to constant false:
+  // substituting any value for a variable the function does not depend on
+  // preserves the function, and extraction requires a target-free support.
   std::vector<Lit> p_final(alpha);
   for (std::uint32_t k = alpha; k-- > 0;) {
     VarMap repl;
-    for (std::uint32_t j = k + 1; j < alpha; ++j) {
-      repl[net.t_pis[j].var()] = p_final[j];
+    for (std::uint32_t j = 0; j < alpha; ++j) {
+      repl[net.t_pis[j].var()] = j > k ? p_final[j] : kFalse;
     }
-    const Lit root = p_dep[k];
-    if (repl.empty()) {
-      p_final[k] = root;
-    } else {
-      const std::vector<Lit> roots{root};
-      p_final[k] = substitute(net.v, roots, repl)[0];
-    }
+    const std::vector<Lit> roots{p_dep[k]};
+    p_final[k] = substitute(net.v, roots, repl)[0];
     if (coneAndCount(net.v, std::vector<Lit>{p_final[k]}) >
         options.compress_threshold) {
       const std::vector<Lit> one{p_final[k]};
       p_final[k] = fraig::compressCones(net.v, one, fraig_opt)[0];
+      // The compress itself can re-introduce vacuous target structure;
+      // ground it the same way.
+      VarMap ground;
+      for (std::uint32_t j = 0; j < alpha; ++j) {
+        ground[net.t_pis[j].var()] = kFalse;
+      }
+      const std::vector<Lit> again{p_final[k]};
+      p_final[k] = substitute(net.v, again, ground)[0];
     }
   }
 

@@ -7,6 +7,7 @@
 #include "aig/aig_ops.h"
 #include "base/check.h"
 #include "base/rng.h"
+#include "base/thread_pool.h"
 #include "cnf/cnf.h"
 #include "sat/solver.h"
 #include "sim/sim.h"
@@ -47,12 +48,100 @@ std::uint64_t hashWords(std::span<const std::uint64_t> words, bool invert) {
 // node and its complement land in the same bucket.
 bool canonicalPhase(std::span<const std::uint64_t> sig) { return (sig[0] & 1) != 0; }
 
+/// One candidate equivalence check of the batched (parallel) sweep:
+/// rep (positive phase) vs cand, complemented when the canonical phases of
+/// their signatures disagree.
+struct PairTask {
+  std::uint32_t rep = 0;
+  std::uint32_t cand = 0;
+  bool phase_diff = false;
+};
+
+enum class PairOutcome : std::uint8_t {
+  Equivalent,     ///< both directions Unsat: merge cand into rep's class
+  Distinguished,  ///< a model separates them: feed back as a new pattern
+  Abandoned,      ///< conflict budget exceeded: never re-query this pair
+};
+
+struct PairResult {
+  PairOutcome outcome = PairOutcome::Abandoned;
+  std::uint32_t queries = 0;
+  std::vector<bool> cex;  ///< PI assignment when Distinguished
+};
+
+/// Pairs per chunk of the batched sweep. Each chunk owns one incremental
+/// solver + CNF map, so cone encodings amortize across its pairs (the
+/// tasks are sorted, so pairs of one representative land in one chunk).
+/// The value is a constant — chunk composition must not depend on the
+/// worker count, or determinism across thread counts would be lost.
+constexpr std::size_t kPairChunk = 32;
+
+/// Decides one chunk of candidate pairs on a chunk-local incremental
+/// solver. Everything here is chunk-local and the chunk's contents depend
+/// only on the (sorted) task list, so every outcome — including
+/// counterexample models — is deterministic for a fixed pattern history,
+/// independent of scheduling order or worker count.
+void checkPairChunk(const Aig& aig, std::span<const PairTask> tasks,
+                    std::span<PairResult> results, std::int64_t budget,
+                    std::uint64_t cex_seed) {
+  sat::Solver solver;
+  cnf::SolverSink sink(solver);
+  cnf::CnfMap map;
+  for (std::uint32_t i = 0; i < aig.numPis(); ++i) {
+    map[aig.piVar(i)] = sat::SLit::make(solver.newVar(), false);
+  }
+
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const PairTask& task = tasks[t];
+    PairResult& result = results[t];
+    const Lit rep_lit = Lit::fromVar(task.rep, false);
+    const Lit cand_lit = Lit::fromVar(task.cand, task.phase_diff);
+    const sat::SLit a = cnf::encodeCone(aig, rep_lit, map, sink);
+    const sat::SLit b = cnf::encodeCone(aig, cand_lit, map, sink);
+
+    const auto storeModel = [&] {
+      Rng rng(cex_seed ^ ((static_cast<std::uint64_t>(task.rep) << 32) |
+                          task.cand));
+      result.cex.resize(aig.numPis());
+      for (std::uint32_t p = 0; p < aig.numPis(); ++p) {
+        const sat::LBool v = solver.modelValue(map.at(aig.piVar(p)));
+        result.cex[p] =
+            v == sat::LBool::Undef ? rng.chance(1, 2) : v == sat::LBool::True;
+      }
+    };
+
+    solver.setConflictBudget(budget);
+    const sat::Status s1 = solver.solve({a, ~b});
+    ++result.queries;
+    if (s1 == sat::Status::Sat) {
+      result.outcome = PairOutcome::Distinguished;
+      storeModel();
+      continue;
+    }
+    if (s1 == sat::Status::Undef) {
+      result.outcome = PairOutcome::Abandoned;
+      continue;
+    }
+    solver.setConflictBudget(budget);
+    const sat::Status s2 = solver.solve({~a, b});
+    ++result.queries;
+    if (s2 == sat::Status::Sat) {
+      result.outcome = PairOutcome::Distinguished;
+      storeModel();
+      continue;
+    }
+    result.outcome = s2 == sat::Status::Unsat ? PairOutcome::Equivalent
+                                              : PairOutcome::Abandoned;
+  }
+}
+
 }  // namespace
 
 EquivClasses computeEquivClasses(const Aig& aig, std::span<const Lit> roots,
-                                 const Options& options) {
+                                 const Options& options, Stats* stats) {
   EquivClasses classes(aig.numNodes());
   Rng rng(options.seed);
+  Stats local;
 
   // Restrict attention to the cones of the roots (plus the constant node).
   std::vector<std::uint32_t> cone_vars = collectCone(aig, roots);
@@ -62,12 +151,18 @@ EquivClasses computeEquivClasses(const Aig& aig, std::span<const Lit> roots,
   sim::PatternSet patterns(aig.numPis(), options.sim_words);
   patterns.randomize(rng);
 
-  // One incremental solver over the whole region; cones encoded on demand.
+  const bool parallel =
+      options.pool != nullptr && options.pool->numWorkers() >= 2;
+
+  // Sequential path: one incremental solver over the whole region, cones
+  // encoded on demand. The parallel path instead encodes per pair.
   sat::Solver solver;
   cnf::SolverSink sink(solver);
   cnf::CnfMap cnf_map;
-  for (std::uint32_t i = 0; i < aig.numPis(); ++i) {
-    cnf_map[aig.piVar(i)] = sat::SLit::make(solver.newVar(), false);
+  if (!parallel) {
+    for (std::uint32_t i = 0; i < aig.numPis(); ++i) {
+      cnf_map[aig.piVar(i)] = sat::SLit::make(solver.newVar(), false);
+    }
   }
   const auto litOf = [&](Lit l) {
     return cnf::encodeCone(aig, l, cnf_map, sink);
@@ -84,6 +179,7 @@ EquivClasses computeEquivClasses(const Aig& aig, std::span<const Lit> roots,
   std::uint32_t cex_count = 0;
 
   for (std::uint32_t round = 0; round < options.max_rounds; ++round) {
+    ++local.rounds;
     const sim::PatternSet values = sim::simulateAll(aig, patterns);
 
     // Bucket by canonical signature hash.
@@ -94,76 +190,149 @@ EquivClasses computeEquivClasses(const Aig& aig, std::span<const Lit> roots,
       buckets[hashWords(sig, canonicalPhase(sig))].push_back(var);
     }
 
+    // Exact signature comparison (hash buckets can collide).
+    const auto sigsEqual = [&](std::uint32_t rep, std::uint32_t cand,
+                               bool* phase_diff) {
+      const auto rep_sig = values.of(rep);
+      const auto cand_sig = values.of(cand);
+      *phase_diff = canonicalPhase(rep_sig) != canonicalPhase(cand_sig);
+      const std::uint64_t m = *phase_diff ? ~std::uint64_t{0} : 0;
+      for (std::uint32_t w = 0; w < patterns.wordsPerSignal(); ++w) {
+        if (rep_sig[w] != (cand_sig[w] ^ m)) return false;
+      }
+      return true;
+    };
+
     bool found_cex = false;
     cex_count = 0;
-    for (auto& [hash, members] : buckets) {
-      (void)hash;
-      if (members.size() < 2) continue;
-      std::sort(members.begin(), members.end());
-      const std::uint32_t rep = members[0];
-      const auto rep_sig = values.of(rep);
-      const bool rep_phase = canonicalPhase(rep_sig);
-      for (std::size_t i = 1; i < members.size(); ++i) {
-        const std::uint32_t cand = members[i];
-        if (settled.count(pairKey(rep, cand)) != 0) continue;
-        const auto cand_sig = values.of(cand);
-        // Exact signature comparison (hash buckets can collide).
-        const bool cand_phase = canonicalPhase(cand_sig);
-        bool equal = true;
-        const std::uint64_t m =
-            (rep_phase != cand_phase) ? ~std::uint64_t{0} : 0;
-        for (std::uint32_t w = 0; w < patterns.wordsPerSignal(); ++w) {
-          if (rep_sig[w] != (cand_sig[w] ^ m)) {
-            equal = false;
+
+    if (parallel) {
+      // Batched sweep: collect this round's unsettled simulation-equal
+      // pairs, decide each one concurrently on an isolated solver, then
+      // merge outcomes in deterministic pair order at the barrier below.
+      std::vector<PairTask> tasks;
+      for (auto& [hash, members] : buckets) {
+        (void)hash;
+        if (members.size() < 2) continue;
+        std::sort(members.begin(), members.end());
+        const std::uint32_t rep = members[0];
+        for (std::size_t i = 1; i < members.size(); ++i) {
+          const std::uint32_t cand = members[i];
+          if (settled.count(pairKey(rep, cand)) != 0) continue;
+          bool phase_diff = false;
+          if (!sigsEqual(rep, cand, &phase_diff)) continue;
+          tasks.push_back(PairTask{rep, cand, phase_diff});
+        }
+      }
+      std::sort(tasks.begin(), tasks.end(),
+                [](const PairTask& a, const PairTask& b) {
+                  return a.rep != b.rep ? a.rep < b.rep : a.cand < b.cand;
+                });
+
+      std::vector<PairResult> results(tasks.size());
+      const std::size_t num_chunks =
+          (tasks.size() + kPairChunk - 1) / kPairChunk;
+      options.pool->parallelFor(num_chunks, [&](std::size_t c) {
+        const std::size_t begin = c * kPairChunk;
+        const std::size_t len = std::min(kPairChunk, tasks.size() - begin);
+        checkPairChunk(
+            aig, std::span<const PairTask>(tasks.data() + begin, len),
+            std::span<PairResult>(results.data() + begin, len),
+            options.conflict_budget,
+            options.seed ^ (0x9E3779B97F4A7C15ULL * (round + 1)));
+      });
+
+      // Deterministic barrier: apply merges and pattern feedback in pair
+      // order. Representatives are bucket minima, so they are never merged
+      // away within the round and every merge target stays a class
+      // representative.
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const PairTask& t = tasks[i];
+        const PairResult& r = results[i];
+        local.sat_queries += r.queries;
+        switch (r.outcome) {
+          case PairOutcome::Equivalent: {
+            const Lit rep_lit = Lit::fromVar(t.rep, false);
+            classes.merge(t.cand, t.phase_diff ? !rep_lit : rep_lit);
+            settled.insert(pairKey(t.rep, t.cand));
             break;
           }
+          case PairOutcome::Abandoned:
+            settled.insert(pairKey(t.rep, t.cand));
+            break;
+          case PairOutcome::Distinguished:
+            found_cex = true;
+            if (cex_count < 64) {
+              for (std::uint32_t p = 0; p < aig.numPis(); ++p) {
+                cex.setBit(p, cex_count, r.cex[p]);
+              }
+              ++cex_count;
+              ++local.counterexamples;
+            }
+            break;
         }
-        if (!equal) continue;
+      }
+    } else {
+      for (auto& [hash, members] : buckets) {
+        (void)hash;
+        if (members.size() < 2) continue;
+        std::sort(members.begin(), members.end());
+        const std::uint32_t rep = members[0];
+        for (std::size_t i = 1; i < members.size(); ++i) {
+          const std::uint32_t cand = members[i];
+          if (settled.count(pairKey(rep, cand)) != 0) continue;
+          bool phase_diff = false;
+          if (!sigsEqual(rep, cand, &phase_diff)) continue;
 
-        // SAT check: rep_lit == cand_lit (with relative phase)?
-        const Lit rep_lit = Lit::fromVar(rep, false);
-        const Lit cand_lit = Lit::fromVar(cand, rep_phase != cand_phase);
-        const sat::SLit a = litOf(rep_lit);
-        const sat::SLit b = litOf(cand_lit);
-        solver.setConflictBudget(options.conflict_budget);
-        const sat::Status s1 = solver.solve({a, ~b});
-        if (s1 == sat::Status::Sat) {
-          // Record the distinguishing pattern.
-          for (std::uint32_t p = 0; p < aig.numPis(); ++p) {
-            const sat::SLit pl = cnf_map.at(aig.piVar(p));
-            const sat::LBool v = solver.modelValue(pl);
-            cex.setBit(p, cex_count % 64,
-                       v == sat::LBool::Undef ? rng.chance(1, 2)
-                                              : v == sat::LBool::True);
+          // SAT check: rep_lit == cand_lit (with relative phase)?
+          const Lit rep_lit = Lit::fromVar(rep, false);
+          const Lit cand_lit = Lit::fromVar(cand, phase_diff);
+          const sat::SLit a = litOf(rep_lit);
+          const sat::SLit b = litOf(cand_lit);
+          solver.setConflictBudget(options.conflict_budget);
+          const sat::Status s1 = solver.solve({a, ~b});
+          ++local.sat_queries;
+          if (s1 == sat::Status::Sat) {
+            // Record the distinguishing pattern.
+            for (std::uint32_t p = 0; p < aig.numPis(); ++p) {
+              const sat::SLit pl = cnf_map.at(aig.piVar(p));
+              const sat::LBool v = solver.modelValue(pl);
+              cex.setBit(p, cex_count % 64,
+                         v == sat::LBool::Undef ? rng.chance(1, 2)
+                                                : v == sat::LBool::True);
+            }
+            ++cex_count;
+            ++local.counterexamples;
+            found_cex = true;
+            continue;
           }
-          ++cex_count;
-          found_cex = true;
-          continue;
-        }
-        const sat::Status s2 =
-            s1 == sat::Status::Unsat ? solver.solve({~a, b}) : sat::Status::Undef;
-        if (s2 == sat::Status::Sat) {
-          for (std::uint32_t p = 0; p < aig.numPis(); ++p) {
-            const sat::SLit pl = cnf_map.at(aig.piVar(p));
-            const sat::LBool v = solver.modelValue(pl);
-            cex.setBit(p, cex_count % 64,
-                       v == sat::LBool::Undef ? rng.chance(1, 2)
-                                              : v == sat::LBool::True);
+          sat::Status s2 = sat::Status::Undef;
+          if (s1 == sat::Status::Unsat) {
+            s2 = solver.solve({~a, b});
+            ++local.sat_queries;
           }
-          ++cex_count;
-          found_cex = true;
-          continue;
+          if (s2 == sat::Status::Sat) {
+            for (std::uint32_t p = 0; p < aig.numPis(); ++p) {
+              const sat::SLit pl = cnf_map.at(aig.piVar(p));
+              const sat::LBool v = solver.modelValue(pl);
+              cex.setBit(p, cex_count % 64,
+                         v == sat::LBool::Undef ? rng.chance(1, 2)
+                                                : v == sat::LBool::True);
+            }
+            ++cex_count;
+            ++local.counterexamples;
+            found_cex = true;
+            continue;
+          }
+          if (s1 == sat::Status::Unsat && s2 == sat::Status::Unsat) {
+            classes.merge(cand, phase_diff ? !rep_lit : rep_lit);
+          }
+          // Proven or abandoned either way: never re-query this pair.
+          settled.insert(pairKey(rep, cand));
+          if (cex_count >= 64) break;
         }
-        if (s1 == sat::Status::Unsat && s2 == sat::Status::Unsat) {
-          classes.merge(cand, cand_lit == Lit::fromVar(cand, false)
-                                  ? rep_lit
-                                  : !rep_lit);
-        }
-        // Proven or abandoned either way: never re-query this pair.
-        settled.insert(pairKey(rep, cand));
         if (cex_count >= 64) break;
       }
-      if (cex_count >= 64) break;
     }
 
     if (!found_cex) break;
@@ -177,6 +346,7 @@ EquivClasses computeEquivClasses(const Aig& aig, std::span<const Lit> roots,
     }
     patterns = std::move(extended);
   }
+  if (stats != nullptr) *stats = local;
   return classes;
 }
 

@@ -18,6 +18,10 @@
 
 #include "aig/aig.h"
 
+namespace eco {
+class ThreadPool;
+}  // namespace eco
+
 namespace eco::fraig {
 
 struct Options {
@@ -25,6 +29,20 @@ struct Options {
   std::uint32_t max_rounds = 64;      ///< refinement round cap
   std::int64_t conflict_budget = 10000;  ///< per-query SAT budget
   std::uint64_t seed = 0xECD5EEDULL;
+  /// When non-null with >= 2 workers, each refinement round batches its
+  /// candidate-pair SAT checks and runs them concurrently, one fresh
+  /// sat::Solver per pair over a thread-local CNF encoding; outcomes are
+  /// merged at a deterministic barrier in pair order, so the refinement is
+  /// reproducible and independent of the worker count. Null (or a 1-worker
+  /// pool) selects the sequential incremental-solver path.
+  ThreadPool* pool = nullptr;
+};
+
+/// Counters filled by computeEquivClasses (per call, not cumulative).
+struct Stats {
+  std::uint64_t sat_queries = 0;     ///< individual solve() calls issued
+  std::uint32_t rounds = 0;          ///< refinement rounds executed
+  std::uint64_t counterexamples = 0; ///< distinguishing patterns fed back
 };
 
 class EquivClasses {
@@ -54,8 +72,10 @@ class EquivClasses {
 
 /// Computes proven equivalence classes among all nodes in the cones of
 /// `roots` (constant node included, so stuck-at signals are detected).
+/// `stats`, when non-null, receives this call's work counters.
 EquivClasses computeEquivClasses(const Aig& aig, std::span<const Lit> roots,
-                                 const Options& options = {});
+                                 const Options& options = {},
+                                 Stats* stats = nullptr);
 
 /// Functionally reduces the cones of `roots`: every node proven equivalent
 /// to an (earlier, hence typically smaller) class representative is rebuilt

@@ -11,6 +11,15 @@
 // Proof logging keeps every clause alive (no database reduction) and is
 // restricted to assumption-free solving; interpolation queries in this
 // library are always fresh, assumption-free solves.
+//
+// Thread safety: a Solver instance is confined to one thread at a time
+// (no internal synchronization), but the class holds no static mutable
+// state — all heuristic state (VSIDS activities, phase saving, restart
+// schedule, clause database) lives in the instance — so any number of
+// Solver instances may run concurrently on different threads. The parallel
+// FRAIG sweep relies on this: it decides each candidate pair on its own
+// Solver over a thread-local CNF encoding. The same instance-confinement
+// guarantee holds for cnf::SolverSink/encodeCone and Rng.
 
 #include <cstdint>
 #include <span>
