@@ -4,17 +4,35 @@
 // ECO_CHECK is active in all build types: algorithmic invariants in a
 // SAT/interpolation stack are cheap relative to solving and catching a
 // violated invariant early beats debugging a wrong patch later.
+//
+// A failed check throws CheckError rather than aborting so that harnesses
+// (the differential fuzzer, long batch runs) can contain an engine failure,
+// report it, and keep going; anything uncaught still terminates with the
+// diagnostic via the default terminate handler.
 
-#include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace eco {
 
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
 [[noreturn]] inline void checkFailed(const char* expr, const char* file, int line,
                                      const char* msg) {
-  std::fprintf(stderr, "ECO_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
-               msg[0] ? " — " : "", msg);
-  std::abort();
+  std::string what = "ECO_CHECK failed: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  if (msg[0]) {
+    what += " — ";
+    what += msg;
+  }
+  throw CheckError(what);
 }
 
 }  // namespace eco

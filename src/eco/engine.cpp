@@ -338,12 +338,24 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
     result.opt_seconds = stage_timer.seconds();
   }
 
-  // Final verification (defense in depth for the optimization stage).
+  // Final verification (defense in depth for the optimization stage). A
+  // failure here is an engine defect, not an instance property — the
+  // initial patch verified, so optimization broke it. Reported as a failed
+  // result (message prefixed "internal error") rather than aborting, so the
+  // QA harness can catch, log, and shrink it.
   {
     stage_timer.reset();
-    const VerifyOutcome v = verifyPatches(ws, patches);
+    VerifyOutcome v = verifyPatches(ws, patches);
     result.verify_seconds += stage_timer.seconds();
-    ECO_CHECK_MSG(v.equivalent, "optimized patch failed verification");
+    if (!v.equivalent) {
+      result.success = false;
+      result.message =
+          "internal error: optimized patch failed verification at output " +
+          std::to_string(v.failing_output);
+      result.counterexample = std::move(v.cex_inputs);
+      result.seconds = timer.seconds();
+      return result;
+    }
   }
   assembleResult(instance, patches, result);
   result.success = true;

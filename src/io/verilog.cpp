@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_set>
@@ -491,8 +492,13 @@ std::unordered_map<std::string, double> parseWeights(const std::string& text) {
     std::string name;
     if (!(ls >> name)) continue;  // blank
     double w = 0;
-    if (!(ls >> w) || w < 0) {
+    if (!(ls >> w) || w < 0 || !std::isfinite(w)) {
       throw std::runtime_error("weights: bad entry at line " +
+                               std::to_string(line_no));
+    }
+    std::string trailing;
+    if (ls >> trailing) {
+      throw std::runtime_error("weights: trailing garbage at line " +
                                std::to_string(line_no));
     }
     weights[name] = w;

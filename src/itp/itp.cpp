@@ -1,6 +1,7 @@
 #include "itp/itp.h"
 
 #include "base/check.h"
+#include "sat/proof_check.h"
 
 namespace eco::itp {
 
@@ -29,6 +30,16 @@ sat::Status ItpJob::solve(std::int64_t conflict_budget) {
 Lit ItpJob::buildInterpolant(Aig& result) const {
   const sat::Proof& proof = solver_.proof();
   ECO_CHECK_MSG(proof.has_empty_clause, "buildInterpolant requires an UNSAT proof");
+
+#ifndef NDEBUG
+  // Debug builds certify every Unsat answer the interpolation path consumes:
+  // a replayed proof that resolves correctly to the empty clause makes the
+  // interpolant sound regardless of any defect in the CDCL search itself.
+  {
+    const sat::ProofCheckResult pc = sat::checkProof(solver_);
+    ECO_CHECK_MSG(pc.ok, pc.error.c_str());
+  }
+#endif
 
   // Classify variables: "global" means occurring in a stored B clause.
   std::vector<bool> occurs_in_b(solver_.numVars(), false);

@@ -1,0 +1,165 @@
+#include "qa/differential.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eco/engine.h"
+#include "qa/oracle.h"
+
+namespace eco::qa {
+namespace {
+
+void applyPlantedBug(PatchResult& r, PlantedBug bug) {
+  if (!r.success) return;
+  switch (bug) {
+    case PlantedBug::None:
+      break;
+    case PlantedBug::FlipPatchPolarity:
+      if (r.patch.numPos() > 0) {
+        r.patch.setPoDriver(0, !r.patch.poDriver(0));
+      }
+      break;
+    case PlantedBug::MisreportCost:
+      r.cost += 1;
+      break;
+  }
+}
+
+std::vector<std::string> sortedBaseNames(const PatchResult& r) {
+  std::vector<std::string> names;
+  for (const BaseRef& b : r.base) names.push_back(b.name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+std::vector<DiffConfig> defaultMatrix(std::uint32_t parallel_threads) {
+  std::vector<DiffConfig> matrix;
+  const auto add = [&](std::string name, std::string must_match,
+                       auto mutate) {
+    DiffConfig cfg;
+    cfg.name = std::move(name);
+    cfg.options.num_threads = 1;
+    mutate(cfg.options);
+    cfg.must_match = std::move(must_match);
+    matrix.push_back(std::move(cfg));
+  };
+  add("seq", "", [](EcoOptions&) {});
+  add("par", "seq", [&](EcoOptions& o) { o.num_threads = parallel_threads; });
+  // Without localization the cut degenerates to all X inputs and cost
+  // optimization explores a far larger base universe; run the ablation
+  // without it — the config's job is cross-checking rectifiability.
+  add("no-fraig", "", [](EcoOptions& o) {
+    o.use_localization = false;
+    o.use_cost_opt = false;
+  });
+  add("no-costopt", "", [](EcoOptions& o) { o.use_cost_opt = false; });
+  add("itp-compress", "", [](EcoOptions& o) {
+    o.try_interpolation_first = true;
+    o.compress_threshold = 1;
+  });
+  return matrix;
+}
+
+InstanceVerdict checkInstance(const EcoInstance& instance, bool known_rectifiable,
+                              const CheckOptions& options) {
+  const std::vector<DiffConfig> matrix =
+      options.matrix.empty() ? defaultMatrix() : options.matrix;
+  InstanceVerdict verdict;
+
+  std::vector<PatchResult> results;
+  results.reserve(matrix.size());
+  for (const DiffConfig& cfg : matrix) {
+    PatchResult r;
+    try {
+      r = EcoEngine(cfg.options).run(instance);
+    } catch (const std::exception& e) {
+      // A violated engine invariant (ECO_CHECK) surfaces here; contain it
+      // so the campaign continues and the instance can be shrunk.
+      r = PatchResult{};
+      r.success = false;
+      r.message = std::string("internal error: exception: ") + e.what();
+    }
+    ++verdict.engine_runs;
+    applyPlantedBug(r, options.plant_bug);
+
+    if (r.success) {
+      OracleReport o;
+      try {
+        o = checkPatch(instance, r);
+      } catch (const std::exception& e) {
+        o.fail(std::string("oracle exception: ") + e.what());
+      }
+      for (const std::string& v : o.violations) {
+        verdict.violations.push_back(cfg.name + ": " + v);
+      }
+    } else if (r.message.rfind("internal error", 0) == 0) {
+      // The engine's own defense-in-depth tripped (a failed invariant or a
+      // patch that flunked re-verification) — always a violation.
+      verdict.violations.push_back(cfg.name + ": " + r.message);
+    } else {
+      if (known_rectifiable) {
+        verdict.violations.push_back(
+            cfg.name + ": rectifiable-by-construction instance reported "
+                       "unrectifiable (" + r.message + ")");
+      }
+      if (!r.counterexample.empty() || instance.num_x == 0) {
+        const OracleReport o = checkCounterexample(instance, r.counterexample);
+        for (const std::string& v : o.violations) {
+          verdict.violations.push_back(cfg.name + ": " + v);
+        }
+      } else {
+        verdict.violations.push_back(cfg.name +
+                                     ": unrectifiable verdict without a "
+                                     "counterexample (" + r.message + ")");
+      }
+    }
+    results.push_back(std::move(r));
+  }
+
+  verdict.rectifiable = results.front().success;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    if (results[i].success != results.front().success) {
+      verdict.violations.push_back(
+          matrix[i].name + ": disagrees with " + matrix.front().name +
+          " on rectifiability (" + (results[i].success ? "yes" : "no") + " vs " +
+          (results.front().success ? "yes" : "no") + ")");
+    }
+  }
+
+  // Determinism pairs: identical observable results.
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    if (matrix[i].must_match.empty()) continue;
+    const auto ref = std::find_if(
+        matrix.begin(), matrix.end(),
+        [&](const DiffConfig& c) { return c.name == matrix[i].must_match; });
+    if (ref == matrix.end()) continue;
+    const PatchResult& a = results[i];
+    const PatchResult& b = results[ref - matrix.begin()];
+    const std::string pair = matrix[i].name + " vs " + ref->name;
+    if (a.success != b.success) {
+      verdict.violations.push_back(pair + ": determinism: success differs");
+      continue;
+    }
+    if (!a.success) continue;
+    if (std::abs(a.cost - b.cost) > 1e-9) {
+      verdict.violations.push_back(pair + ": determinism: cost " +
+                                   std::to_string(a.cost) + " vs " +
+                                   std::to_string(b.cost));
+    }
+    if (a.size != b.size) {
+      verdict.violations.push_back(pair + ": determinism: size " +
+                                   std::to_string(a.size) + " vs " +
+                                   std::to_string(b.size));
+    }
+    if (sortedBaseNames(a) != sortedBaseNames(b)) {
+      verdict.violations.push_back(pair + ": determinism: base sets differ");
+    }
+  }
+
+  verdict.ok = verdict.violations.empty();
+  return verdict;
+}
+
+}  // namespace eco::qa

@@ -1,0 +1,65 @@
+#pragma once
+// Differential execution across an EcoOptions matrix.
+//
+// Soundness bugs that slip past a single configuration rarely slip past
+// all of them: the sequential and parallel paths must produce *identical*
+// patches (the PR 1 determinism contract), and every configuration —
+// FRAIG/localization on or off, cost optimization on or off, the
+// interpolation-first + forced-compression stress path — must agree on
+// whether an instance is rectifiable. Each successful result additionally
+// passes the independent oracle, and each unrectifiable verdict must carry
+// a valid counterexample.
+//
+// The planted-bug flag corrupts engine results *after* the run — a
+// deliberate fault injected to prove the harness catches what it is
+// supposed to catch ("testing the tester").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eco/instance.h"
+
+namespace eco::qa {
+
+struct DiffConfig {
+  std::string name;
+  EcoOptions options;
+  /// When set: this config's result (success, cost, size, base names) must
+  /// be bit-identical to the named config's — the determinism contract.
+  std::string must_match;
+};
+
+/// The standard matrix: sequential, parallel (must match sequential),
+/// FRAIG/localization off, cost optimization off, interpolation-first with
+/// forced cone compression.
+std::vector<DiffConfig> defaultMatrix(std::uint32_t parallel_threads = 0);
+
+/// Deliberate result corruptions for harness self-tests.
+enum class PlantedBug : std::uint8_t {
+  None = 0,
+  FlipPatchPolarity,  ///< complements patch output 0 — a semantic bug
+  MisreportCost,      ///< overstates the reported cost — a bookkeeping bug
+};
+
+struct CheckOptions {
+  std::vector<DiffConfig> matrix;  ///< empty = defaultMatrix()
+  PlantedBug plant_bug = PlantedBug::None;
+};
+
+struct InstanceVerdict {
+  bool ok = true;
+  std::vector<std::string> violations;  ///< prefixed with the config name
+  bool rectifiable = false;  ///< consensus verdict (first config's, on split)
+  std::uint32_t engine_runs = 0;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Runs the full matrix on one instance and cross-checks every claim.
+/// `known_rectifiable` marks instances that are rectifiable by
+/// construction: an unrectifiable verdict on one is itself a violation.
+InstanceVerdict checkInstance(const EcoInstance& instance, bool known_rectifiable,
+                              const CheckOptions& options);
+
+}  // namespace eco::qa

@@ -1,0 +1,131 @@
+#include "qa/fuzz.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "base/timer.h"
+#include "io/instance_io.h"
+
+namespace eco::qa {
+namespace {
+
+bool writeFile(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+std::string writeReproducer(const std::string& dir, const std::string& name,
+                            const ShrinkResult& shrunk) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path target = fs::path(dir) / name;
+  fs::create_directories(target, ec);
+  if (ec) return "";
+
+  const io::InstanceFiles files = io::saveInstance(shrunk.instance);
+  std::string spec = "# eco_fuzz shrunk reproducer\n";
+  spec += "# " + benchgen::describeSpec(shrunk.spec) + "\n";
+  spec += "# faulty_ands=" + std::to_string(shrunk.faulty_ands);
+  spec += " cofactored_pis=" + std::to_string(shrunk.cofactored_pis);
+  spec += " shrink_attempts=" + std::to_string(shrunk.attempts) + "\n";
+  for (const std::string& v : shrunk.verdict.violations) {
+    spec += "# violation: " + v + "\n";
+  }
+  if (!writeFile(target / "faulty.v", files.faulty_v) ||
+      !writeFile(target / "golden.v", files.golden_v) ||
+      !writeFile(target / "weight.txt", files.weights) ||
+      !writeFile(target / "spec.txt", spec)) {
+    return "";
+  }
+  return target.string();
+}
+
+FuzzOutcome runFuzz(const FuzzOptions& options) {
+  FuzzOutcome outcome;
+  Timer timer;
+  const auto logf = [&](const char* fmt, auto... args) {
+    if (options.log != nullptr) {
+      std::fprintf(options.log, fmt, args...);
+      std::fflush(options.log);
+    }
+  };
+
+  for (std::uint64_t i = 0; i < options.count; ++i) {
+    const std::uint64_t seed = options.seed + i;
+    const benchgen::FuzzSpec spec = benchgen::randomFuzzSpec(seed);
+    benchgen::FuzzInstance fi;
+    InstanceVerdict verdict;
+    try {
+      fi = benchgen::generateFuzzInstance(spec);
+      verdict = checkInstance(fi.instance, fi.known_rectifiable, options.check);
+    } catch (const std::exception& e) {
+      verdict.ok = false;
+      verdict.violations.push_back(std::string("generator exception: ") +
+                                   e.what());
+    }
+
+    ++outcome.instances;
+    outcome.engine_runs += verdict.engine_runs;
+    if (verdict.rectifiable) {
+      ++outcome.rectifiable;
+    } else {
+      ++outcome.unrectifiable;
+    }
+
+    if (!verdict.ok) {
+      ++outcome.failures;
+      logf("eco_fuzz: FAILURE at seed %llu (%s)\n",
+           static_cast<unsigned long long>(seed),
+           benchgen::describeSpec(spec).c_str());
+      for (const std::string& v : verdict.violations) {
+        logf("  violation: %s\n", v.c_str());
+      }
+
+      FuzzFailure failure;
+      failure.seed = seed;
+      if (options.shrink) {
+        logf("  shrinking...\n");
+        failure.shrunk = shrinkFailure(spec, options.check);
+        logf("  shrunk to %u AND gates (%s) in %u attempts\n",
+             failure.shrunk.faulty_ands,
+             benchgen::describeSpec(failure.shrunk.spec).c_str(),
+             failure.shrunk.attempts);
+      } else {
+        failure.shrunk.spec = spec;
+        failure.shrunk.instance = fi.instance;
+        failure.shrunk.verdict = verdict;
+        failure.shrunk.faulty_ands = fi.instance.faulty.numAnds();
+      }
+      if (!options.reproducer_dir.empty()) {
+        failure.reproducer_path =
+            writeReproducer(options.reproducer_dir,
+                            "seed" + std::to_string(seed), failure.shrunk);
+        if (!failure.reproducer_path.empty()) {
+          logf("  reproducer: %s\n", failure.reproducer_path.c_str());
+        }
+      }
+      outcome.shrunk_failures.push_back(std::move(failure));
+      if (outcome.failures >= options.max_failures) break;
+    }
+
+    if (options.progress_every != 0 && (i + 1) % options.progress_every == 0) {
+      logf("eco_fuzz: %llu/%llu instances, %llu rectifiable, %llu failures, "
+           "%.1f inst/s\n",
+           static_cast<unsigned long long>(i + 1),
+           static_cast<unsigned long long>(options.count),
+           static_cast<unsigned long long>(outcome.rectifiable),
+           static_cast<unsigned long long>(outcome.failures),
+           static_cast<double>(i + 1) / std::max(timer.seconds(), 1e-9));
+    }
+  }
+
+  outcome.seconds = timer.seconds();
+  return outcome;
+}
+
+}  // namespace eco::qa

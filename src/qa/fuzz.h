@@ -1,0 +1,61 @@
+#pragma once
+// The self-checking fuzz loop: generate → differential matrix → oracle →
+// shrink → serialize.
+//
+// One call drives the whole QA pipeline over `count` seeded instances.
+// Failures are shrunk to minimal reproducers and (optionally) written to
+// disk in contest format (faulty.v / golden.v / weight.txt plus a spec.txt
+// with the generation parameters), ready for io::loadInstance and the
+// regression corpus under tests/corpus/.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "qa/differential.h"
+#include "qa/shrink.h"
+
+namespace eco::qa {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;    ///< instance i uses spec seed `seed + i`
+  std::uint64_t count = 100;
+  CheckOptions check;
+  bool shrink = true;
+  std::uint32_t max_failures = 1;    ///< stop fuzzing after this many
+  std::string reproducer_dir;        ///< "" = do not serialize reproducers
+  std::FILE* log = nullptr;          ///< nullptr = silent
+  std::uint64_t progress_every = 0;  ///< 0 = no periodic progress lines
+};
+
+struct FuzzFailure {
+  std::uint64_t seed = 0;
+  ShrinkResult shrunk;
+  std::string reproducer_path;  ///< empty when not serialized
+};
+
+struct FuzzOutcome {
+  std::uint64_t instances = 0;
+  std::uint64_t rectifiable = 0;
+  std::uint64_t unrectifiable = 0;
+  std::uint64_t engine_runs = 0;
+  std::uint64_t failures = 0;
+  double seconds = 0;
+  std::vector<FuzzFailure> shrunk_failures;
+
+  double instancesPerSecond() const {
+    return seconds > 0 ? static_cast<double>(instances) / seconds : 0;
+  }
+  bool clean() const { return failures == 0; }
+};
+
+/// Runs the fuzz loop. Deterministic in FuzzOptions::seed.
+FuzzOutcome runFuzz(const FuzzOptions& options);
+
+/// Serializes a shrunk failure under `dir/<name>/` (contest files plus
+/// spec.txt). Returns the directory written, or "" on I/O failure.
+std::string writeReproducer(const std::string& dir, const std::string& name,
+                            const ShrinkResult& shrunk);
+
+}  // namespace eco::qa

@@ -1,0 +1,53 @@
+#pragma once
+// Independent result validation for the fuzzing harness.
+//
+// eco::verifyPatches is the engine's own soundness gate; a bug there (or in
+// the workspace plumbing it shares with patch generation) would let a wrong
+// patch sail through both. The oracle re-derives every claim from the
+// instance and the PatchResult alone, sharing no code with the engine's
+// verification path:
+//
+//   - structural: every base reference names a real faulty signal with the
+//     right literal and weight, no base lies in any target's transitive
+//     fanout (the "non-base support" rule), reported cost and size match a
+//     recomputation;
+//   - functional: the patched faulty circuit is compared to golden by
+//     exhaustive bit-parallel simulation when the input space is small
+//     (<= 2^kExhaustiveLimit), random simulation otherwise, and always by a
+//     freshly encoded SAT miter;
+//   - unrectifiability witnesses: the claimed counterexample X assignment
+//     must leave every target valuation unable to reproduce the golden
+//     outputs (exhaustive over targets).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eco/instance.h"
+
+namespace eco::qa {
+
+struct OracleReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void fail(std::string what) {
+    ok = false;
+    violations.push_back(std::move(what));
+  }
+  explicit operator bool() const { return ok; }
+};
+
+/// X-input widths up to this bound are checked exhaustively.
+inline constexpr std::uint32_t kExhaustiveLimit = 11;
+
+/// Validates a successful PatchResult against the instance.
+OracleReport checkPatch(const EcoInstance& instance, const PatchResult& result);
+
+/// Validates an unrectifiability counterexample: under X assignment `cex`,
+/// no target valuation may reproduce the golden outputs. Skipped (ok) when
+/// the instance has more than 16 targets.
+OracleReport checkCounterexample(const EcoInstance& instance,
+                                 const std::vector<bool>& cex);
+
+}  // namespace eco::qa

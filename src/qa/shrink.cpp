@@ -1,0 +1,178 @@
+#include "qa/shrink.h"
+
+#include <utility>
+#include <vector>
+
+namespace eco::qa {
+
+using benchgen::FaultMode;
+using benchgen::Family;
+using benchgen::FuzzInstance;
+using benchgen::FuzzSpec;
+
+namespace {
+
+bool sameSpec(const FuzzSpec& a, const FuzzSpec& b) {
+  return a.seed == b.seed && a.mode == b.mode && a.family == b.family &&
+         a.size_param == b.size_param && a.num_targets == b.num_targets &&
+         a.num_tiles == b.num_tiles && a.restructure_pct == b.restructure_pct &&
+         a.target_depth_frac == b.target_depth_frac;
+}
+
+/// Reduction candidates for one descent step, most aggressive first.
+std::vector<FuzzSpec> reductionCandidates(const FuzzSpec& cur) {
+  std::vector<FuzzSpec> cands;
+  const auto push = [&](FuzzSpec c) {
+    if (!sameSpec(c, cur)) cands.push_back(std::move(c));
+  };
+  if (cur.num_tiles > 1) {
+    FuzzSpec c = cur;
+    c.num_tiles = 1;
+    push(c);
+    c = cur;
+    c.num_tiles = cur.num_tiles / 2;
+    push(c);
+  }
+  if (cur.num_targets > 1) {
+    FuzzSpec c = cur;
+    c.num_targets = 1;
+    push(c);
+    c = cur;
+    c.num_targets = cur.num_targets / 2;
+    push(c);
+  }
+  if (cur.size_param > 2) {
+    FuzzSpec c = cur;
+    c.size_param = 2;
+    push(c);
+    c = cur;
+    c.size_param = std::max(2u, cur.size_param / 2);
+    push(c);
+    c = cur;
+    c.size_param = cur.size_param - 1;
+    push(c);
+  }
+  if (cur.restructure_pct > 0) {
+    FuzzSpec c = cur;
+    c.restructure_pct = 0;
+    push(c);
+  }
+  if (cur.target_depth_frac > 0) {
+    FuzzSpec c = cur;
+    c.target_depth_frac = 0;
+    push(c);
+  }
+  if (cur.family != Family::Adder) {
+    FuzzSpec c = cur;
+    c.family = Family::Adder;
+    c.size_param = std::min(c.size_param, 4u);
+    push(c);
+  }
+  if (cur.mode != FaultMode::CleanCut) {
+    // Harness-level defects (planted bugs, oracle regressions) reproduce on
+    // clean instances too; engine defects usually need the fault mode.
+    FuzzSpec c = cur;
+    c.mode = FaultMode::CleanCut;
+    c.num_tiles = 1;
+    push(c);
+  }
+  return cands;
+}
+
+}  // namespace
+
+ShrinkResult shrinkFailure(const FuzzSpec& spec, const CheckOptions& check,
+                           const ShrinkOptions& options) {
+  ShrinkResult out;
+  out.spec = spec;
+
+  const auto evaluate = [&](const FuzzSpec& s)
+      -> std::pair<FuzzInstance, InstanceVerdict> {
+    ++out.attempts;
+    FuzzInstance fi;
+    try {
+      fi = benchgen::generateFuzzInstance(s);
+    } catch (const std::exception&) {
+      // Degenerate reduction candidate the generator rejects: report it as
+      // passing so the descent skips it.
+      InstanceVerdict ok_verdict;
+      ok_verdict.ok = true;
+      return {std::move(fi), std::move(ok_verdict)};
+    }
+    InstanceVerdict v = checkInstance(fi.instance, fi.known_rectifiable, check);
+    return {std::move(fi), std::move(v)};
+  };
+
+  auto [cur_fi, cur_v] = evaluate(spec);
+  out.verdict = cur_v;
+  out.instance = cur_fi.instance;
+  out.faulty_ands = cur_fi.instance.faulty.numAnds();
+  if (cur_v.ok) return out;  // nothing to shrink (see header)
+
+  // Phase 1: greedy spec descent.
+  FuzzSpec cur = spec;
+  bool progress = true;
+  while (progress && out.attempts < options.max_attempts) {
+    progress = false;
+    for (const FuzzSpec& cand : reductionCandidates(cur)) {
+      if (out.attempts >= options.max_attempts) break;
+      auto [fi, v] = evaluate(cand);
+      if (v.ok) continue;  // reduction lost the failure
+      cur = cand;
+      cur_fi = std::move(fi);
+      out.verdict = std::move(v);
+      progress = true;
+      break;
+    }
+    if (progress) continue;
+    // Stuck: nearby re-seeds, accepted only when strictly smaller.
+    for (std::uint32_t i = 0;
+         i < options.reseed_tries && out.attempts < options.max_attempts; ++i) {
+      FuzzSpec cand = cur;
+      cand.seed = cur.seed * 6364136223846793005ULL + 1442695040888963407ULL + i;
+      auto [fi, v] = evaluate(cand);
+      if (v.ok) continue;
+      if (fi.instance.faulty.numAnds() >= cur_fi.instance.faulty.numAnds()) {
+        continue;
+      }
+      cur = cand;
+      cur_fi = std::move(fi);
+      out.verdict = std::move(v);
+      progress = true;
+      break;
+    }
+  }
+  out.spec = cur;
+  out.instance = cur_fi.instance;
+
+  // Phase 2: drop X inputs by cofactoring while the failure persists.
+  bool changed = true;
+  while (changed && out.attempts < options.max_attempts) {
+    changed = false;
+    for (std::uint32_t i = 0; i < out.instance.num_x && !changed; ++i) {
+      for (const bool value : {false, true}) {
+        if (out.attempts >= options.max_attempts) break;
+        ++out.attempts;
+        EcoInstance cand;
+        try {
+          cand = benchgen::cofactorPi(out.instance, i, value);
+        } catch (const std::exception&) {
+          continue;  // cofactoring collapsed the instance; keep the PI
+        }
+        InstanceVerdict v =
+            checkInstance(cand, cur_fi.known_rectifiable, check);
+        if (v.ok) continue;
+        out.instance = std::move(cand);
+        out.verdict = std::move(v);
+        ++out.cofactored_pis;
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  out.faulty_ands = out.instance.faulty.numAnds();
+  return out;
+}
+
+}  // namespace eco::qa

@@ -1,0 +1,47 @@
+#pragma once
+// Failure shrinking: reduce a failing fuzz instance to a minimal
+// reproducer.
+//
+// Two phases, both driven by the single predicate "checkInstance still
+// reports a violation":
+//
+//   1. Spec-level greedy descent — bisect tiles, drop targets, halve the
+//     size parameter, zero restructuring and depth constraints, simplify
+//     the family, and finally try nearby re-seeds that yield a smaller
+//     circuit. Each accepted move regenerates the instance from the
+//     mutated spec, so the reproducer stays a one-line FuzzSpec.
+//   2. Instance-level PI cofactoring — substitute constants for X inputs
+//     one at a time (benchgen::cofactorPi) while the failure persists.
+//
+// The result is serialized in contest format by the fuzz driver so a
+// failure found overnight is a `loadInstance` away from a debugger.
+
+#include <cstdint>
+
+#include "benchgen/faults.h"
+#include "qa/differential.h"
+
+namespace eco::qa {
+
+struct ShrinkOptions {
+  std::uint32_t max_attempts = 200;  ///< failure-predicate evaluations
+  std::uint32_t reseed_tries = 6;    ///< nearby seeds tried when stuck
+};
+
+struct ShrinkResult {
+  benchgen::FuzzSpec spec;       ///< minimized spec (pre-cofactor phase)
+  EcoInstance instance;          ///< minimized instance (post-cofactor)
+  InstanceVerdict verdict;       ///< the surviving failure
+  std::uint32_t attempts = 0;    ///< predicate evaluations spent
+  std::uint32_t cofactored_pis = 0;
+  std::uint32_t faulty_ands = 0;  ///< AND count of the final faulty circuit
+};
+
+/// Shrinks a failing spec. The caller must have observed the failure;
+/// when the initial spec no longer fails (flaky environment — should not
+/// happen, generation is deterministic) the result carries verdict.ok.
+ShrinkResult shrinkFailure(const benchgen::FuzzSpec& spec,
+                           const CheckOptions& check,
+                           const ShrinkOptions& options = {});
+
+}  // namespace eco::qa

@@ -1,0 +1,112 @@
+#include "sat/proof_check.h"
+
+#include <set>
+#include <string>
+
+namespace eco::sat {
+namespace {
+
+using LitSet = std::set<std::uint32_t>;  // literal indices
+
+LitSet litSet(std::span<const SLit> lits) {
+  LitSet out;
+  for (const SLit l : lits) out.insert(l.index());
+  return out;
+}
+
+/// Resolves `cur` with `other` on `pivot`. Fails when the pivot does not
+/// occur with opposite polarities or the resolvent is tautological.
+bool resolveStep(LitSet& cur, const LitSet& other, Var pivot, std::string& err) {
+  const std::uint32_t pos = SLit::make(pivot, false).index();
+  const std::uint32_t neg = SLit::make(pivot, true).index();
+  const bool cur_pos = cur.count(pos) != 0;
+  const bool cur_neg = cur.count(neg) != 0;
+  const bool oth_pos = other.count(pos) != 0;
+  const bool oth_neg = other.count(neg) != 0;
+  if (!((cur_pos && oth_neg) || (cur_neg && oth_pos))) {
+    err = "pivot " + std::to_string(pivot) +
+          " does not occur with opposite polarities";
+    return false;
+  }
+  cur.erase(pos);
+  cur.erase(neg);
+  for (const std::uint32_t l : other) {
+    if (l != pos && l != neg) cur.insert(l);
+  }
+  for (const std::uint32_t l : cur) {
+    if (cur.count(l ^ 1) != 0) {
+      err = "tautological resolvent on pivot " + std::to_string(pivot);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ProofCheckResult checkProof(const Proof& proof, const ClauseLitsFn& lits) {
+  ProofCheckResult result;
+  const auto fail = [&](std::string msg) -> ProofCheckResult& {
+    result.ok = false;
+    result.error = std::move(msg);
+    return result;
+  };
+  if (!proof.has_empty_clause) {
+    return fail("proof has no empty-clause derivation");
+  }
+  const ClauseId n_clauses = static_cast<ClauseId>(proof.chains.size());
+
+  // `max_ref`: exclusive bound on referenced clause ids (for learned-clause
+  // chains, only earlier clauses; the refutation may use any clause).
+  const auto replayChain = [&](const ProofChain& chain, ClauseId max_ref,
+                               const LitSet* expect, std::string& err) {
+    if (chain.start >= max_ref) {
+      err = "chain starts at out-of-range clause " + std::to_string(chain.start);
+      return false;
+    }
+    LitSet cur = litSet(lits(chain.start));
+    for (const auto& step : chain.steps) {
+      if (step.clause >= max_ref) {
+        err = "step references out-of-range clause " + std::to_string(step.clause);
+        return false;
+      }
+      if (!resolveStep(cur, litSet(lits(step.clause)), step.pivot, err)) {
+        return false;
+      }
+      ++result.steps_checked;
+    }
+    if (expect != nullptr) {
+      if (cur != *expect) {
+        err = "chain does not derive the stored clause";
+        return false;
+      }
+    } else if (!cur.empty()) {
+      err = "refutation chain does not derive the empty clause";
+      return false;
+    }
+    return true;
+  };
+
+  std::string err;
+  for (ClauseId id = 0; id < n_clauses; ++id) {
+    const ProofChain& chain = proof.chains[id];
+    if (chain.start == kNoClause) continue;  // original clause, nothing to check
+    const LitSet expect = litSet(lits(id));
+    if (!replayChain(chain, id, &expect, err)) {
+      return fail("clause " + std::to_string(id) + ": " + err);
+    }
+    ++result.chains_checked;
+  }
+  if (!replayChain(proof.empty_clause, n_clauses, nullptr, err)) {
+    return fail("empty clause: " + err);
+  }
+  ++result.chains_checked;
+  return result;
+}
+
+ProofCheckResult checkProof(const Solver& solver) {
+  return checkProof(solver.proof(),
+                    [&solver](ClauseId id) { return solver.clauseLits(id); });
+}
+
+}  // namespace eco::sat

@@ -1,0 +1,54 @@
+#pragma once
+// Standalone resolution-proof checker.
+//
+// Replays every logged ProofChain by literal-set resolution and certifies
+// that each chain derives exactly its stored learned clause, and that the
+// final chain derives the empty clause. This is the trust anchor of the QA
+// subsystem: an Unsat answer whose proof checks is correct regardless of
+// any bug in the CDCL search, and the interpolation path (src/itp) replays
+// exactly these chains, so a checked proof also bounds what interpolant
+// construction can consume. Debug builds run the checker on every proof
+// ItpJob::buildInterpolant replays.
+//
+// Checked per chain:
+//   - `start` and every step's antecedent reference an existing clause,
+//     and (for learned-clause chains) only clauses derived earlier;
+//   - every step is a proper resolution: the pivot occurs with opposite
+//     polarities in the running clause and the antecedent;
+//   - no intermediate resolvent is tautological (trivial resolution);
+//   - the final literal set equals the stored clause (empty for the
+//     refutation chain).
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "sat/proof.h"
+#include "sat/solver.h"
+#include "sat/types.h"
+
+namespace eco::sat {
+
+struct ProofCheckResult {
+  bool ok = true;
+  std::string error;  ///< first violation, empty when ok
+  std::uint64_t chains_checked = 0;
+  std::uint64_t steps_checked = 0;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Clause-literal accessor: literals of clause `id`. Lets tests check
+/// deliberately corrupted proofs against unmodified clause stores.
+using ClauseLitsFn = std::function<std::span<const SLit>(ClauseId)>;
+
+/// Checks `proof` against a clause store of `proof.chains.size()` clauses
+/// whose literals are given by `lits`. Requires has_empty_clause.
+ProofCheckResult checkProof(const Proof& proof, const ClauseLitsFn& lits);
+
+/// Checks the proof of a solver after an assumption-free Unsat answer with
+/// proof logging enabled.
+ProofCheckResult checkProof(const Solver& solver);
+
+}  // namespace eco::sat

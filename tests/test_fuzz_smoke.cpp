@@ -1,0 +1,153 @@
+// Self-checking fuzz harness tests.
+//
+// Compiled twice: the default build is the tier-1 smoke test (corpus replay
+// plus a small deterministic sweep); with ECO_FUZZ_SWEEP defined it becomes
+// the tier-2 1000-instance sweep that nightly CI runs under sanitizers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchgen/faults.h"
+#include "io/instance_io.h"
+#include "qa/fuzz.h"
+
+namespace eco::qa {
+namespace {
+
+#ifndef ECO_CORPUS_DIR
+#define ECO_CORPUS_DIR ""
+#endif
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Shrunk regression instances from past fuzzing campaigns replay first:
+/// each must now sail through the full differential matrix.
+TEST(FuzzCorpus, RegressionInstancesPass) {
+  namespace fs = std::filesystem;
+  const fs::path corpus(ECO_CORPUS_DIR);
+  if (corpus.empty() || !fs::is_directory(corpus)) {
+    GTEST_SKIP() << "no corpus directory";
+  }
+  std::vector<fs::path> cases;
+  for (const auto& entry : fs::directory_iterator(corpus)) {
+    if (entry.is_directory() && fs::exists(entry.path() / "faulty.v")) {
+      cases.push_back(entry.path());
+    }
+  }
+  std::sort(cases.begin(), cases.end());
+  ASSERT_FALSE(cases.empty()) << "corpus directory holds no instances";
+  for (const fs::path& dir : cases) {
+    SCOPED_TRACE(dir.filename().string());
+    const EcoInstance inst = io::loadInstance(
+        slurp(dir / "faulty.v"), slurp(dir / "golden.v"),
+        slurp(dir / "weight.txt"), dir.filename().string());
+    // Corpus instances are kept because they once failed; rectifiability is
+    // not guaranteed, so replay with known_rectifiable=false — agreement,
+    // oracle, and counterexample checks still apply in full.
+    const InstanceVerdict verdict =
+        checkInstance(inst, /*known_rectifiable=*/false, CheckOptions{});
+    EXPECT_TRUE(verdict.ok) << (verdict.violations.empty()
+                                    ? ""
+                                    : verdict.violations.front());
+  }
+}
+
+#ifdef ECO_FUZZ_SWEEP
+
+// Tier 2: the full acceptance sweep — 1000 seeded instances across every
+// fault mode and the whole config matrix, zero discrepancies expected.
+TEST(FuzzSweep, ThousandInstancesClean) {
+  FuzzOptions options;
+  options.seed = 1;
+  options.count = 1000;
+  options.shrink = false;  // a failure here fails the test; shrink offline
+  options.max_failures = 5;
+  options.log = stderr;
+  options.progress_every = 100;
+  const FuzzOutcome outcome = runFuzz(options);
+  EXPECT_EQ(outcome.failures, 0u);
+  EXPECT_EQ(outcome.instances, 1000u);
+  // Both rectifiable and unrectifiable populations must be exercised.
+  EXPECT_GT(outcome.rectifiable, 0u);
+  EXPECT_GT(outcome.unrectifiable, 0u);
+}
+
+#else  // tier 1
+
+TEST(FuzzSmoke, DeterministicSweepIsClean) {
+  FuzzOptions options;
+  options.seed = 1;
+  options.count = 25;
+  options.shrink = false;
+  const FuzzOutcome outcome = runFuzz(options);
+  EXPECT_EQ(outcome.failures, 0u);
+  EXPECT_EQ(outcome.instances, 25u);
+  EXPECT_EQ(outcome.engine_runs, 25 * defaultMatrix().size());
+}
+
+TEST(FuzzSmoke, SpecGenerationIsDeterministic) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto a = benchgen::randomFuzzSpec(seed);
+    const auto b = benchgen::randomFuzzSpec(seed);
+    EXPECT_EQ(benchgen::describeSpec(a), benchgen::describeSpec(b));
+    const auto ia = benchgen::generateFuzzInstance(a);
+    const auto ib = benchgen::generateFuzzInstance(b);
+    EXPECT_EQ(ia.instance.faulty.numAnds(), ib.instance.faulty.numAnds());
+    EXPECT_EQ(ia.known_rectifiable, ib.known_rectifiable);
+  }
+}
+
+// The "testing the tester" gate: a deliberately corrupted engine must be
+// caught by the harness and shrunk to a minimal reproducer.
+TEST(FuzzSmoke, PlantedBugCaughtAndShrunk) {
+  FuzzOptions options;
+  options.seed = 1;
+  options.count = 10;
+  options.check.plant_bug = PlantedBug::FlipPatchPolarity;
+  options.shrink = true;
+  options.max_failures = 1;
+  const FuzzOutcome outcome = runFuzz(options);
+  ASSERT_GE(outcome.failures, 1u);
+  ASSERT_FALSE(outcome.shrunk_failures.empty());
+  const FuzzFailure& f = outcome.shrunk_failures.front();
+  EXPECT_FALSE(f.shrunk.verdict.ok);
+  EXPECT_LE(f.shrunk.faulty_ands, 8u)
+      << "shrinker left " << f.shrunk.faulty_ands << " AND gates";
+}
+
+TEST(FuzzSmoke, ReproducerRoundTrips) {
+  FuzzOptions options;
+  options.seed = 1;
+  options.count = 5;
+  options.check.plant_bug = PlantedBug::FlipPatchPolarity;
+  options.max_failures = 1;
+  const auto tmp = std::filesystem::temp_directory_path() / "eco_fuzz_test";
+  std::filesystem::remove_all(tmp);
+  options.reproducer_dir = tmp.string();
+  const FuzzOutcome outcome = runFuzz(options);
+  ASSERT_FALSE(outcome.shrunk_failures.empty());
+  const std::filesystem::path dir(outcome.shrunk_failures.front().reproducer_path);
+  ASSERT_FALSE(dir.empty());
+  const EcoInstance inst =
+      io::loadInstance(slurp(dir / "faulty.v"), slurp(dir / "golden.v"),
+                       slurp(dir / "weight.txt"), "roundtrip");
+  EXPECT_EQ(inst.numTargets(),
+            outcome.shrunk_failures.front().shrunk.instance.numTargets());
+  std::filesystem::remove_all(tmp);
+}
+
+#endif  // ECO_FUZZ_SWEEP
+
+}  // namespace
+}  // namespace eco::qa

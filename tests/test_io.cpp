@@ -223,5 +223,23 @@ TEST(Weights, RejectsNegative) {
   EXPECT_THROW(parseWeights("n1 -3\n"), std::runtime_error);
 }
 
+TEST(Weights, RejectsMissingValue) {
+  EXPECT_THROW(parseWeights("n1\n"), std::runtime_error);
+  EXPECT_THROW(parseWeights("n1 abc\n"), std::runtime_error);
+}
+
+TEST(Weights, RejectsNonFinite) {
+  EXPECT_THROW(parseWeights("n1 inf\n"), std::runtime_error);
+  EXPECT_THROW(parseWeights("n1 nan\n"), std::runtime_error);
+  EXPECT_THROW(parseWeights("n1 1e999\n"), std::runtime_error);
+}
+
+TEST(Weights, RejectsTrailingGarbage) {
+  EXPECT_THROW(parseWeights("n1 3 junk\n"), std::runtime_error);
+  EXPECT_THROW(parseWeights("n1 3 4\n"), std::runtime_error);
+  // A comment after the value is fine.
+  EXPECT_DOUBLE_EQ(parseWeights("n1 3 # ok\n").at("n1"), 3);
+}
+
 }  // namespace
 }  // namespace eco::io

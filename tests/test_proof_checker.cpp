@@ -1,0 +1,171 @@
+// Unit tests for the standalone resolution-proof checker (sat/proof_check):
+// genuine proofs from the solver must certify, and deliberately corrupted
+// proofs — wrong pivots, truncated chains, out-of-range references,
+// rewritten refutations — must be rejected with a diagnostic.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "base/rng.h"
+#include "sat/proof_check.h"
+#include "sat/solver.h"
+
+namespace eco::sat {
+namespace {
+
+/// Unsatisfiable pigeonhole instance (P pigeons into H holes, P > H).
+void buildPigeonhole(Solver& s, int pigeons, int holes) {
+  std::vector<std::vector<Var>> v(pigeons, std::vector<Var>(holes));
+  for (auto& row : v) {
+    for (auto& var : row) var = s.newVar();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<SLit> c;
+    for (int h = 0; h < holes; ++h) c.push_back(SLit::make(v[p][h], false));
+    s.addClause(c);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.addClause({SLit::make(v[p1][h], true), SLit::make(v[p2][h], true)});
+      }
+    }
+  }
+}
+
+ClauseLitsFn litsOf(const Solver& s) {
+  return [&s](ClauseId id) { return s.clauseLits(id); };
+}
+
+TEST(ProofChecker, CertifiesPigeonholeProof) {
+  Solver s(/*log_proof=*/true);
+  buildPigeonhole(s, 5, 4);
+  ASSERT_EQ(s.solve(), Status::Unsat);
+  const ProofCheckResult r = checkProof(s);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.chains_checked, 0u);
+  EXPECT_GT(r.steps_checked, 0u);
+}
+
+TEST(ProofChecker, CertifiesRootLevelConflict) {
+  Solver s(/*log_proof=*/true);
+  const Var a = s.newVar(), b = s.newVar();
+  s.addClause({SLit::make(a, false)});
+  s.addClause({SLit::make(a, true), SLit::make(b, false)});
+  s.addClause({SLit::make(b, true)});
+  ASSERT_EQ(s.solve(), Status::Unsat);
+  const ProofCheckResult r = checkProof(s);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(ProofChecker, RejectsProofWithoutRefutation) {
+  Proof empty;
+  const ProofCheckResult r =
+      checkProof(empty, [](ClauseId) { return std::span<const SLit>(); });
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("no empty-clause"), std::string::npos);
+}
+
+/// Fixture providing a genuine Unsat proof that individual tests corrupt.
+class CorruptedProof : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    solver_ = std::make_unique<Solver>(/*log_proof=*/true);
+    buildPigeonhole(*solver_, 5, 4);
+    ASSERT_EQ(solver_->solve(), Status::Unsat);
+    proof_ = solver_->proof();  // mutable copy
+    ASSERT_TRUE(checkProof(proof_, litsOf(*solver_)).ok);
+    // Locate some learned clause with a non-trivial chain.
+    learned_ = kNoClause;
+    for (ClauseId id = 0; id < proof_.chains.size(); ++id) {
+      if (proof_.chains[id].start != kNoClause && !proof_.chains[id].steps.empty()) {
+        learned_ = id;
+        break;
+      }
+    }
+    ASSERT_NE(learned_, kNoClause) << "proof has no learned clause to corrupt";
+  }
+
+  std::unique_ptr<Solver> solver_;
+  Proof proof_;
+  ClauseId learned_ = kNoClause;
+};
+
+TEST_F(CorruptedProof, RejectsWrongPivot) {
+  // A pivot variable beyond every clause cannot resolve anything.
+  proof_.chains[learned_].steps[0].pivot = solver_->numVars() + 7;
+  const ProofCheckResult r = checkProof(proof_, litsOf(*solver_));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("pivot"), std::string::npos) << r.error;
+}
+
+TEST_F(CorruptedProof, RejectsTruncatedChain) {
+  proof_.chains[learned_].steps.pop_back();
+  const ProofCheckResult r = checkProof(proof_, litsOf(*solver_));
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(CorruptedProof, RejectsForwardReference) {
+  // A learned clause may only resolve over clauses derived before it.
+  proof_.chains[learned_].steps[0].clause =
+      static_cast<ClauseId>(proof_.chains.size() - 1);
+  const ProofCheckResult r = checkProof(proof_, litsOf(*solver_));
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(CorruptedProof, RejectsOutOfRangeReference) {
+  proof_.empty_clause.steps[0].clause =
+      static_cast<ClauseId>(proof_.chains.size()) + 100;
+  const ProofCheckResult r = checkProof(proof_, litsOf(*solver_));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("out-of-range"), std::string::npos) << r.error;
+}
+
+TEST_F(CorruptedProof, RejectsTruncatedRefutation) {
+  // Dropping the tail of the final chain leaves a non-empty literal set.
+  ASSERT_FALSE(proof_.empty_clause.steps.empty());
+  proof_.empty_clause.steps.pop_back();
+  const ProofCheckResult r = checkProof(proof_, litsOf(*solver_));
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(ProofChecker, RandomUnsatProofsCertify) {
+  Rng rng(0xFADEDu);
+  int unsat_seen = 0;
+  for (int round = 0; round < 80 && unsat_seen < 15; ++round) {
+    const std::uint32_t vars = 6 + rng.below(6);
+    Solver s(/*log_proof=*/true);
+    for (std::uint32_t v = 0; v < vars; ++v) s.newVar();
+    for (std::uint32_t i = 0; i < vars * 5; ++i) {
+      std::vector<SLit> clause;
+      const std::uint32_t len = 1 + rng.below(3);
+      for (std::uint32_t j = 0; j < len; ++j) {
+        clause.push_back(
+            SLit::make(static_cast<Var>(rng.below(vars)), rng.chance(1, 2)));
+      }
+      s.addClause(clause);
+    }
+    if (s.solve() != Status::Unsat) continue;
+    ++unsat_seen;
+    const ProofCheckResult r = checkProof(s);
+    ASSERT_TRUE(r.ok) << r.error;
+
+    // Corrupting a random step's pivot to an unused variable must always
+    // be caught — the "tester of the tester" sanity direction.
+    Proof bad = s.proof();
+    ProofChain* chain = bad.empty_clause.steps.empty() ? nullptr : &bad.empty_clause;
+    for (auto& c : bad.chains) {
+      if (c.start != kNoClause && !c.steps.empty()) chain = &c;
+    }
+    if (chain != nullptr) {
+      chain->steps[chain->steps.size() / 2].pivot = vars + 3;
+      EXPECT_FALSE(checkProof(bad, litsOf(s)).ok);
+    }
+  }
+  EXPECT_GE(unsat_seen, 5);
+}
+
+}  // namespace
+}  // namespace eco::sat

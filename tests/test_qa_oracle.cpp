@@ -1,0 +1,218 @@
+// Unit tests for the independent QA oracle: a correct engine result passes,
+// and every class of corruption — wrong function, wrong bookkeeping, illegal
+// base support — is flagged.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "benchgen/faults.h"
+#include "eco/engine.h"
+#include "qa/differential.h"
+#include "qa/oracle.h"
+
+namespace eco::qa {
+namespace {
+
+/// Golden o = a & b; faulty o = t0 (the AND was ripped out).
+EcoInstance tinyInstance() {
+  EcoInstance inst;
+  inst.name = "oracle-tiny";
+  const Lit ga = inst.golden.addPi("a");
+  const Lit gb = inst.golden.addPi("b");
+  inst.golden.addPo(inst.golden.addAnd(ga, gb), "o");
+
+  const Lit fa = inst.faulty.addPi("a");
+  const Lit fb = inst.faulty.addPi("b");
+  const Lit t = inst.faulty.addPi("t0");
+  inst.num_x = 2;
+  inst.faulty.setSignalName(fa, "na");
+  inst.faulty.setSignalName(fb, "nb");
+  inst.faulty.addPo(t, "o");
+  inst.weights = {{"a", 3}, {"b", 3}, {"na", 1}, {"nb", 1}};
+  return inst;
+}
+
+PatchResult runEngine(const EcoInstance& inst) {
+  const PatchResult r = EcoEngine().run(inst);
+  EXPECT_TRUE(r.success) << r.message;
+  return r;
+}
+
+bool mentions(const OracleReport& report, const std::string& needle) {
+  for (const std::string& v : report.violations) {
+    if (v.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(Oracle, AcceptsCorrectResult) {
+  const EcoInstance inst = tinyInstance();
+  const OracleReport report = checkPatch(inst, runEngine(inst));
+  EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                 ? ""
+                                 : report.violations.front());
+}
+
+TEST(Oracle, AcceptsGeneratedInstances) {
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    const auto fi = benchgen::generateFuzzInstance(benchgen::randomFuzzSpec(seed));
+    const PatchResult r = EcoEngine().run(fi.instance);
+    if (!r.success) continue;  // gate-flip instances may be unrectifiable
+    const OracleReport report = checkPatch(fi.instance, r);
+    EXPECT_TRUE(report.ok) << "seed " << seed << ": "
+                           << (report.violations.empty()
+                                   ? ""
+                                   : report.violations.front());
+  }
+}
+
+TEST(Oracle, CatchesFlippedPatchFunction) {
+  const EcoInstance inst = tinyInstance();
+  PatchResult r = runEngine(inst);
+  r.patch.setPoDriver(0, !r.patch.poDriver(0));
+  const OracleReport report = checkPatch(inst, r);
+  ASSERT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "differs from golden"));
+}
+
+TEST(Oracle, CatchesMisreportedCost) {
+  const EcoInstance inst = tinyInstance();
+  PatchResult r = runEngine(inst);
+  r.cost += 1;
+  const OracleReport report = checkPatch(inst, r);
+  ASSERT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "cost"));
+}
+
+TEST(Oracle, CatchesMisreportedSize) {
+  const EcoInstance inst = tinyInstance();
+  PatchResult r = runEngine(inst);
+  r.size += 2;
+  const OracleReport report = checkPatch(inst, r);
+  ASSERT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "size"));
+}
+
+TEST(Oracle, CatchesUnknownBaseName) {
+  const EcoInstance inst = tinyInstance();
+  PatchResult r = runEngine(inst);
+  ASSERT_FALSE(r.base.empty());
+  r.base[0].name = "no_such_signal";
+  const OracleReport report = checkPatch(inst, r);
+  ASSERT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "not a faulty-netlist signal"));
+}
+
+TEST(Oracle, CatchesWrongBaseLiteral) {
+  const EcoInstance inst = tinyInstance();
+  PatchResult r = runEngine(inst);
+  ASSERT_FALSE(r.base.empty());
+  r.base[0].lit = Lit::fromVar(r.base[0].lit.var() + 1, false);
+  const OracleReport report = checkPatch(inst, r);
+  ASSERT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "disagrees with the netlist"));
+}
+
+TEST(Oracle, CatchesBaseInsideTargetFanout) {
+  // Faulty o = t0 & c, with "mid" naming that AND: mid is in t0's fanout
+  // cone and must never be accepted as a patch base.
+  EcoInstance inst;
+  inst.name = "oracle-tfo";
+  const Lit ga = inst.golden.addPi("a");
+  const Lit gc = inst.golden.addPi("c");
+  inst.golden.addPo(inst.golden.addAnd(ga, gc), "o");
+
+  const Lit fa = inst.faulty.addPi("a");
+  const Lit fc = inst.faulty.addPi("c");
+  const Lit t = inst.faulty.addPi("t0");
+  inst.num_x = 2;
+  const Lit mid = inst.faulty.addAnd(t, fc);
+  inst.faulty.setSignalName(mid, "mid");
+  inst.faulty.setSignalName(fa, "na");
+  inst.faulty.addPo(mid, "o");
+
+  PatchResult r = runEngine(inst);
+  ASSERT_FALSE(r.base.empty());
+  r.base[0].name = "mid";
+  r.base[0].lit = mid;
+  r.base[0].weight = inst.weightOf("mid");
+  const OracleReport report = checkPatch(inst, r);
+  ASSERT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "fanout"));
+}
+
+TEST(Oracle, CounterexampleAcceptedForTrulyBrokenInstance) {
+  // Faulty po0 = !a with no target influence: unrectifiable, and any cex
+  // the engine produces must survive pointwise checking.
+  EcoInstance inst;
+  inst.name = "oracle-cex";
+  const Lit ga = inst.golden.addPi("a");
+  inst.golden.addPo(ga, "o");
+  const Lit fa = inst.faulty.addPi("a");
+  const Lit t = inst.faulty.addPi("t0");
+  (void)t;
+  inst.num_x = 1;
+  inst.faulty.addPo(!fa, "o");
+
+  const PatchResult r = EcoEngine().run(inst);
+  ASSERT_FALSE(r.success);
+  ASSERT_FALSE(r.counterexample.empty());
+  EXPECT_TRUE(checkCounterexample(inst, r.counterexample).ok);
+}
+
+TEST(Oracle, CounterexampleRefutedWhenTargetCanFix) {
+  // Faulty o = t0, golden o = a: for ANY x the valuation t0 = a reproduces
+  // the golden outputs, so no counterexample can be genuine.
+  EcoInstance inst;
+  inst.name = "oracle-badcex";
+  const Lit ga = inst.golden.addPi("a");
+  inst.golden.addPo(ga, "o");
+  inst.faulty.addPi("a");
+  const Lit t = inst.faulty.addPi("t0");
+  inst.num_x = 1;
+  inst.faulty.addPo(t, "o");
+
+  const OracleReport report = checkCounterexample(inst, {true});
+  ASSERT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "refuted"));
+}
+
+TEST(Oracle, CounterexampleWidthChecked) {
+  const EcoInstance inst = tinyInstance();
+  const OracleReport report = checkCounterexample(inst, {true, false, true});
+  ASSERT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "bits"));
+}
+
+TEST(Differential, PlantedSemanticBugIsCaught) {
+  const auto fi = benchgen::generateFuzzInstance(benchgen::randomFuzzSpec(7));
+  CheckOptions options;
+  options.plant_bug = PlantedBug::FlipPatchPolarity;
+  const InstanceVerdict verdict =
+      checkInstance(fi.instance, fi.known_rectifiable, options);
+  EXPECT_FALSE(verdict.ok);
+}
+
+TEST(Differential, PlantedBookkeepingBugIsCaught) {
+  const auto fi = benchgen::generateFuzzInstance(benchgen::randomFuzzSpec(7));
+  CheckOptions options;
+  options.plant_bug = PlantedBug::MisreportCost;
+  const InstanceVerdict verdict =
+      checkInstance(fi.instance, fi.known_rectifiable, options);
+  EXPECT_FALSE(verdict.ok);
+}
+
+TEST(Differential, CleanInstancePassesMatrix) {
+  const auto fi = benchgen::generateFuzzInstance(benchgen::randomFuzzSpec(7));
+  const InstanceVerdict verdict =
+      checkInstance(fi.instance, fi.known_rectifiable, CheckOptions{});
+  EXPECT_TRUE(verdict.ok) << (verdict.violations.empty()
+                                  ? ""
+                                  : verdict.violations.front());
+  EXPECT_EQ(verdict.engine_runs, defaultMatrix().size());
+}
+
+}  // namespace
+}  // namespace eco::qa

@@ -1,0 +1,134 @@
+// Failure paths of eco::verifyPatches: a patch with the wrong function must
+// produce a genuine counterexample, an uncovered target must fail unless it
+// is irrelevant, and a patch reading a target pseudo-PI must be rejected by
+// verification rather than silently accepted.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eco/engine.h"
+#include "eco/relations.h"
+#include "eco/verify.h"
+
+namespace eco {
+namespace {
+
+/// Golden o = a & b; faulty o = t0.
+EcoInstance tinyInstance() {
+  EcoInstance inst;
+  inst.name = "verify-tiny";
+  const Lit ga = inst.golden.addPi("a");
+  const Lit gb = inst.golden.addPi("b");
+  inst.golden.addPo(inst.golden.addAnd(ga, gb), "o");
+
+  inst.faulty.addPi("a");
+  inst.faulty.addPi("b");
+  const Lit t = inst.faulty.addPi("t0");
+  inst.num_x = 2;
+  inst.faulty.addPo(t, "o");
+  return inst;
+}
+
+/// A one-output patch computing `fn(a, b)` over X-input candidates.
+TargetPatch patchOver(const Workspace& ws, const EcoInstance& inst,
+                      Lit (*build)(Aig&, Lit, Lit)) {
+  TargetPatch p;
+  p.target = 0;
+  const Lit a = p.fn.addPi("a");
+  const Lit b = p.fn.addPi("b");
+  p.fn.addPo(build(p.fn, a, b));
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    Candidate c;
+    c.name = inst.faulty.piName(i);
+    c.f_lit = inst.faulty.piLit(i);
+    c.w_fn = ws.x_pis[i];
+    c.weight = 1;
+    p.inputs.push_back(std::move(c));
+  }
+  return p;
+}
+
+TEST(VerifyFailures, WrongPatchYieldsGenuineCounterexample) {
+  const EcoInstance inst = tinyInstance();
+  Workspace ws = buildWorkspace(inst);
+  // Patch computes a | b instead of a & b.
+  const TargetPatch wrong = patchOver(
+      ws, inst, +[](Aig& g, Lit a, Lit b) { return g.mkOr(a, b); });
+  const std::vector<TargetPatch> patches{wrong};
+  const VerifyOutcome v = verifyPatches(ws, patches);
+  ASSERT_FALSE(v.equivalent);
+  ASSERT_EQ(v.cex_inputs.size(), inst.num_x);
+  // The cex must actually distinguish a|b from a&b: exactly one input true.
+  EXPECT_NE(v.cex_inputs[0], v.cex_inputs[1]);
+  EXPECT_EQ(v.failing_output, 0u);
+}
+
+TEST(VerifyFailures, CorrectPatchVerifies) {
+  const EcoInstance inst = tinyInstance();
+  Workspace ws = buildWorkspace(inst);
+  const TargetPatch right = patchOver(
+      ws, inst, +[](Aig& g, Lit a, Lit b) { return g.addAnd(a, b); });
+  const std::vector<TargetPatch> patches{right};
+  EXPECT_TRUE(verifyPatches(ws, patches).equivalent);
+}
+
+TEST(VerifyFailures, UncoveredTargetFails) {
+  const EcoInstance inst = tinyInstance();
+  Workspace ws = buildWorkspace(inst);
+  // No patch at all: t0 stays free, and since o depends on it the miter
+  // must be satisfiable.
+  const VerifyOutcome v = verifyPatches(ws, {});
+  EXPECT_FALSE(v.equivalent);
+  EXPECT_EQ(v.cex_inputs.size(), inst.num_x);
+}
+
+TEST(VerifyFailures, PatchReadingTargetPseudoPiIsRejected) {
+  const EcoInstance inst = tinyInstance();
+  Workspace ws = buildWorkspace(inst);
+  // An adversarial "patch" wired to the target pseudo-PI itself: t0 := t0.
+  // Substitution leaves the target free, so verification must fail — this
+  // is the self-referential support the structural oracle also rejects.
+  TargetPatch cyclic;
+  cyclic.target = 0;
+  const Lit in = cyclic.fn.addPi("t0");
+  cyclic.fn.addPo(in);
+  Candidate c;
+  c.name = "t0";
+  c.f_lit = inst.faulty.piLit(2);
+  c.w_fn = ws.t_pis[0];
+  c.weight = 0;
+  cyclic.inputs.push_back(std::move(c));
+  const std::vector<TargetPatch> patches{cyclic};
+  const VerifyOutcome v = verifyPatches(ws, patches);
+  EXPECT_FALSE(v.equivalent);
+}
+
+TEST(VerifyFailures, UntouchedOutputMismatchReported) {
+  // po0 matches golden, po1 = !a differs and no target reaches it.
+  EcoInstance inst;
+  inst.name = "verify-untouched";
+  const Lit ga = inst.golden.addPi("a");
+  inst.golden.addPo(ga, "o0");
+  inst.golden.addPo(ga, "o1");
+  const Lit fa = inst.faulty.addPi("a");
+  const Lit t = inst.faulty.addPi("t0");
+  inst.num_x = 1;
+  inst.faulty.addPo(t, "o0");
+  inst.faulty.addPo(!fa, "o1");
+
+  Workspace ws = buildWorkspace(inst);
+  const std::vector<std::uint32_t> untouched{1};
+  const VerifyOutcome v = verifyUntouchedOutputs(ws, untouched);
+  ASSERT_FALSE(v.equivalent);
+  EXPECT_EQ(v.failing_output, 1u);
+
+  // The engine reaches the same verdict end to end.
+  const PatchResult r = EcoEngine().run(inst);
+  ASSERT_FALSE(r.success);
+  EXPECT_NE(r.message.find("unrectifiable"), std::string::npos);
+  EXPECT_EQ(r.counterexample.size(), inst.num_x);
+}
+
+}  // namespace
+}  // namespace eco
