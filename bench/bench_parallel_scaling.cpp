@@ -11,14 +11,16 @@
 // the stages this bench measures. The patch must be bit-identical across
 // all worker counts; any divergence is reported and fails the bench.
 //
-// Usage: bench_parallel_scaling [tiles] [size_param] [num_targets]
-// Defaults (6, 16, 5) finish in under a minute on one core. Speedup > 1
-// requires actual hardware parallelism; on a single-CPU machine the
-// interesting output is the overhead column staying near 1.0.
+// Usage: bench_parallel_scaling [tiles] [size_param] [num_targets] [out.json]
+// Defaults (6, 16, 5) finish in under a minute on one core; the JSON
+// document also lands in BENCH_parallel.json ("-" disables the file).
+// Speedup > 1 requires actual hardware parallelism; on a single-CPU machine
+// the interesting output is the overhead column staying near 1.0.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,7 @@
 #include "base/thread_pool.h"
 #include "benchgen/benchgen.h"
 #include "eco/engine.h"
+#include "obs/json.h"
 
 namespace eco {
 namespace {
@@ -108,6 +111,7 @@ int main(int argc, char** argv) {
   const unsigned tiles = argc > 1 ? std::atoi(argv[1]) : 6;
   const unsigned size_param = argc > 2 ? std::atoi(argv[2]) : 16;
   const unsigned num_targets = argc > 3 ? std::atoi(argv[3]) : 5;
+  const std::string json_path = argc > 4 ? argv[4] : "BENCH_parallel.json";
 
   std::vector<benchgen::UnitSpec> specs;
   for (unsigned i = 0; i < tiles; ++i) {
@@ -146,36 +150,59 @@ int main(int argc, char** argv) {
                     s.result.num_clusters == ref.result.num_clusters;
   }
 
-  std::printf("{\n");
-  std::printf("  \"bench\": \"parallel_scaling\",\n");
-  std::printf(
-      "  \"workload\": {\"instance\": \"%s\", \"tiles\": %u, "
-      "\"size_param\": %u, \"num_targets\": %u, \"clusters\": %u, "
-      "\"cost_opt\": false},\n",
-      inst.name.c_str(), tiles, size_param, num_targets,
-      ref.result.num_clusters);
-  std::printf("  \"hardware_threads\": %u,\n", ThreadPool::defaultThreads());
-  std::printf("  \"runs\": [\n");
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const RunSample& s = samples[i];
-    std::printf(
-        "    {\"threads\": %u, \"ok\": %s, \"total_seconds\": %.3f, "
-        "\"fraig_seconds\": %.3f, \"patchgen_seconds\": %.3f, "
-        "\"verify_seconds\": %.3f, \"fraig_sat_queries\": %llu, "
-        "\"fraig_rounds\": %u, \"cost\": %.1f, \"size\": %u, "
-        "\"speedup_vs_1\": %.3f}%s\n",
-        s.threads, s.result.success ? "true" : "false", s.seconds,
-        s.result.fraig_seconds, s.result.patchgen_seconds,
-        s.result.verify_seconds,
-        static_cast<unsigned long long>(s.result.fraig_sat_queries),
-        s.result.fraig_rounds, s.result.cost, s.result.size,
-        s.seconds > 0 ? ref.seconds / s.seconds : 0.0,
-        i + 1 < samples.size() ? "," : "");
+  obs::JsonWriter w;
+  w.beginObject();
+  w.key("schema"); w.value("ecopatch-bench-parallel");
+  w.key("schema_version"); w.value(std::int64_t{1});
+  w.key("bench"); w.value("parallel_scaling");
+  w.key("workload");
+  w.beginObject();
+  w.key("instance"); w.value(inst.name);
+  w.key("tiles"); w.value(std::uint64_t{tiles});
+  w.key("size_param"); w.value(std::uint64_t{size_param});
+  w.key("num_targets"); w.value(std::uint64_t{num_targets});
+  w.key("clusters"); w.value(static_cast<std::uint64_t>(ref.result.num_clusters));
+  w.key("cost_opt"); w.value(false);
+  w.endObject();
+  w.key("hardware_threads");
+  w.value(static_cast<std::uint64_t>(ThreadPool::defaultThreads()));
+  w.key("runs");
+  w.beginArray();
+  for (const RunSample& s : samples) {
+    w.beginObject();
+    w.key("threads"); w.value(static_cast<std::uint64_t>(s.threads));
+    w.key("ok"); w.value(s.result.success);
+    w.key("total_seconds"); w.valueFixed(s.seconds, 3);
+    w.key("fraig_seconds"); w.valueFixed(s.result.fraig_seconds, 3);
+    w.key("patchgen_seconds"); w.valueFixed(s.result.patchgen_seconds, 3);
+    w.key("verify_seconds"); w.valueFixed(s.result.verify_seconds, 3);
+    w.key("fraig_sat_queries"); w.value(s.result.fraig_sat_queries);
+    w.key("fraig_rounds");
+    w.value(static_cast<std::uint64_t>(s.result.fraig_rounds));
+    w.key("sat_conflicts"); w.value(s.result.sat_conflicts);
+    w.key("cost"); w.valueFixed(s.result.cost, 1);
+    w.key("size"); w.value(static_cast<std::uint64_t>(s.result.size));
+    w.key("speedup_vs_1");
+    w.valueFixed(s.seconds > 0 ? ref.seconds / s.seconds : 0.0, 3);
+    w.endObject();
   }
-  std::printf("  ],\n");
-  std::printf("  \"deterministic\": %s,\n", deterministic ? "true" : "false");
-  std::printf("  \"all_ok\": %s\n", all_ok ? "true" : "false");
-  std::printf("}\n");
+  w.endArray();
+  w.key("deterministic"); w.value(deterministic);
+  w.key("all_ok"); w.value(all_ok);
+  w.endObject();
+
+  const std::string doc = w.take();
+  std::printf("%s\n", doc.c_str());
+  if (json_path != "-") {
+    std::ofstream out(json_path);
+    if (out) {
+      out << doc;
+      std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "bench_parallel_scaling: cannot write '%s'\n",
+                   json_path.c_str());
+    }
+  }
 
   return all_ok && deterministic ? 0 : 1;
 }

@@ -1,76 +1,106 @@
 // E1 — Table 2 reproduction: cost, patch size, and runtime of the
 // winner-proxy baseline vs our full flow on the 20-unit synthetic contest
-// suite, with ratio columns (winner / ours) and geometric means.
-//
-// Matches the paper's column layout:
-//   ckt | #target | winner cost/size/time | ours cost/size/time | ratios
+// suite, with ratio columns (ours / baseline) and geometric means.
 //
 // Absolute values differ from the paper (synthetic benchmarks, our own
 // substrate); the *shape* to check is: parity on easy units, large cost and
 // size reductions on the difficult units (6, 10, 11, 19), geometric-mean
 // ratios comfortably below 1 for cost and size.
+//
+// Besides the human-readable table (eco::formatComparisonTable), the bench
+// writes BENCH_table2.json — per-unit run reports in the versioned
+// "ecopatch-run-report" schema plus the suite summary — to seed the perf
+// trajectory. Usage: bench_table2 [output.json] (default BENCH_table2.json;
+// "-" disables the file).
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "benchgen/benchgen.h"
 #include "eco/baseline.h"
 #include "eco/engine.h"
+#include "eco/report.h"
+#include "eco/report_json.h"
+#include "obs/json.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eco;
 
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_table2.json";
+
   std::printf("E1 / Table 2: winner proxy vs cost-aware multi-fix flow\n");
-  std::printf(
-      "%-8s %7s | %10s %6s %8s | %10s %6s %8s | %6s %6s %6s\n", "ckt",
-      "#target", "w.cost", "w.size", "w.time", "o.cost", "o.size", "o.time",
-      "r.cost", "r.size", "r.time");
 
-  double geo_cost = 0, geo_size = 0, geo_time = 0;
-  int counted = 0;
+  std::vector<ComparisonRow> rows;
+  obs::JsonWriter units;
+  units.beginArray();
   int failures = 0;
-
   for (const auto& spec : benchgen::contestSuite()) {
     const EcoInstance inst = benchgen::generateUnit(spec);
-    const PatchResult winner = runWinnerProxy(inst);
-    const PatchResult ours = EcoEngine().run(inst);
-    if (!winner.success || !ours.success) {
-      std::printf("%-8s %7u | FAILED (winner: %s / ours: %s)\n",
-                  spec.name.c_str(), inst.numTargets(),
-                  winner.success ? "ok" : winner.message.c_str(),
-                  ours.success ? "ok" : ours.message.c_str());
+    ComparisonRow row;
+    row.name = spec.name;
+    row.num_targets = inst.numTargets();
+    row.baseline = runWinnerProxy(inst);
+    row.ours = EcoEngine().run(inst);
+    if (!row.baseline.success || !row.ours.success) ++failures;
+
+    // Per-unit run report for `ours` (the trajectory series), with the
+    // baseline's headline numbers attached for the ratio columns. Metrics
+    // are process-global, so only the suite summary embeds a snapshot.
+    RunReportOptions ropt;
+    ropt.include_metrics = false;
+    obs::json::Value unit_report;
+    std::string parse_error;
+    const std::string report = writeJsonReport(inst, row.ours, ropt);
+    if (!obs::json::parse(report, &unit_report, &parse_error)) {
+      std::fprintf(stderr, "bench_table2: bad run report for %s: %s\n",
+                   spec.name.c_str(), parse_error.c_str());
       ++failures;
-      continue;
     }
-    // Ratio convention follows the paper: winner-to-ours... the paper lists
-    // "ratios of the results of the contest winner to ours"; < 1 means the
-    // winner was better, > 1 means ours is better. To keep the table
-    // readable we print ours/winner (as in the paper's Table 2 numbers,
-    // where 0.02 on unit 6 marks a 47x win for the proposed method).
-    const auto safe = [](double num, double den) {
-      if (den <= 0) return num <= 0 ? 1.0 : num;
-      return num / den;
-    };
-    const double r_cost = safe(ours.cost, winner.cost);
-    const double r_size = safe(ours.size, winner.size);
-    const double r_time = safe(ours.seconds, winner.seconds);
-    std::printf(
-        "%-8s %7u | %10.1f %6u %7.2fs | %10.1f %6u %7.2fs | %6.3f %6.3f %6.2f\n",
-        spec.name.c_str(), inst.numTargets(), winner.cost, winner.size,
-        winner.seconds, ours.cost, ours.size, ours.seconds, r_cost, r_size,
-        r_time);
+    units.beginObject();
+    units.key("name"); units.value(spec.name);
+    units.key("baseline");
+    units.beginObject();
+    units.key("success"); units.value(row.baseline.success);
+    units.key("cost"); units.value(row.baseline.cost);
+    units.key("size"); units.value(static_cast<std::uint64_t>(row.baseline.size));
+    units.key("seconds"); units.valueFixed(row.baseline.seconds, 6);
+    units.endObject();
+    // Raw splice: `report` is itself a validated JSON object.
+    units.key("ours");
+    units.rawValue(report);
+    units.endObject();
+
+    rows.push_back(std::move(row));
     std::fflush(stdout);
-    geo_cost += std::log(std::max(r_cost, 1e-6));
-    geo_size += std::log(std::max(r_size, 1e-6));
-    geo_time += std::log(std::max(r_time, 1e-6));
-    ++counted;
   }
-  if (counted > 0) {
-    std::printf("%-8s %7s | %27s | %27s | %6.3f %6.3f %6.2f   (geo. mean)\n",
-                "geomean", "", "", "", std::exp(geo_cost / counted),
-                std::exp(geo_size / counted), std::exp(geo_time / counted));
+  units.endArray();
+
+  std::printf("%s", formatComparisonTable(rows).c_str());
+  std::printf("\n%zu/%zu units rectified and SAT-verified by both engines\n",
+              rows.size() - static_cast<std::size_t>(failures), rows.size());
+
+  if (json_path != "-") {
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("schema"); w.value("ecopatch-bench-table2");
+    w.key("schema_version"); w.value(std::int64_t{1});
+    w.key("run_report_schema_version");
+    w.value(static_cast<std::int64_t>(kRunReportSchemaVersion));
+    w.key("units_total"); w.value(static_cast<std::uint64_t>(rows.size()));
+    w.key("units_failed"); w.value(static_cast<std::uint64_t>(failures));
+    w.key("units"); w.rawValue(units.take());
+    w.endObject();
+    std::ofstream out(json_path);
+    if (out) {
+      out << w.take();
+      std::printf("wrote %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "bench_table2: cannot write '%s'\n",
+                   json_path.c_str());
+    }
   }
-  std::printf("\n%d/%d units rectified and SAT-verified by both engines\n",
-              counted, counted + failures);
   return failures == 0 ? 0 : 1;
 }

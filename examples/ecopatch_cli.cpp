@@ -13,6 +13,10 @@
 //   --seed N               RNG seed
 //   --threads N            worker threads (0 = hardware concurrency,
 //                          1 = sequential; default 0)
+//   --json FILE            write a machine-readable run report (see
+//                          eco/report_json.h for the schema)
+//   --trace FILE           record a Chrome trace_event JSON of the run,
+//                          viewable in chrome://tracing or Perfetto
 //   --quiet                suppress the stage report
 //
 // Exit codes: 0 patched+verified, 1 usage/parse error, 2 unrectifiable.
@@ -26,8 +30,10 @@
 
 #include "eco/engine.h"
 #include "eco/report.h"
+#include "eco/report_json.h"
 #include "io/instance_io.h"
 #include "io/verilog.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -47,8 +53,16 @@ std::string readFile(const std::string& path) {
                "usage: ecopatch_cli -f faulty.v -g golden.v -w weights.txt "
                "[-o patch.v] [--no-localization] [--no-cost-opt] "
                "[--no-minimize] [--itp-first] [--pi-only] [--watch N] "
-               "[--rounds N] [--seed N] [--threads N] [--quiet]\n");
+               "[--rounds N] [--seed N] [--threads N] [--json FILE] "
+               "[--trace FILE] [--quiet]\n");
   std::exit(1);
+}
+
+bool writeTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -56,7 +70,7 @@ std::string readFile(const std::string& path) {
 int main(int argc, char** argv) {
   using namespace eco;
 
-  std::string f_path, g_path, w_path, out_path;
+  std::string f_path, g_path, w_path, out_path, json_path, trace_path;
   EcoOptions opt;
   bool quiet = false;
 
@@ -92,6 +106,10 @@ int main(int argc, char** argv) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (a == "--threads") {
       opt.num_threads = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (a == "--json") {
+      json_path = next();
+    } else if (a == "--trace") {
+      trace_path = next();
     } else if (a == "--quiet") {
       quiet = true;
     } else {
@@ -110,7 +128,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (!trace_path.empty()) obs::startTrace();
   const PatchResult r = EcoEngine(opt).run(inst);
+  if (!trace_path.empty()) {
+    const obs::TraceDump dump = obs::stopTrace();
+    std::string trace_error;
+    if (!obs::writeChromeTrace(trace_path, dump, &trace_error)) {
+      std::fprintf(stderr, "ecopatch: %s\n", trace_error.c_str());
+    } else if (!quiet) {
+      std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
+                  dump.events.size());
+    }
+  }
+  if (!json_path.empty() &&
+      !writeTextFile(json_path, writeJsonReport(inst, r))) {
+    std::fprintf(stderr, "ecopatch: cannot write '%s'\n", json_path.c_str());
+  }
   if (!r.success) {
     std::fprintf(stderr, "ecopatch: %s\n", r.message.c_str());
     return 2;

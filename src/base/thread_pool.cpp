@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <exception>
+#include <string>
 
 #include "base/check.h"
+#include "obs/trace.h"
 
 namespace eco {
 
@@ -81,6 +83,10 @@ ThreadPool::Task ThreadPool::stealFrom(unsigned index) {
 }
 
 void ThreadPool::workerMain(unsigned index) {
+  // Label the worker in trace exports; events recorded by tasks running
+  // here land in this thread's obs buffer and show up as their own trace
+  // row (the per-thread view of the parallel pipeline).
+  obs::setThreadName("pool-" + std::to_string(index));
   for (;;) {
     Task task = popLocal(index);
     if (!task) task = stealFrom(index);

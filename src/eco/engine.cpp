@@ -8,7 +8,6 @@
 #include "aig/minimize.h"
 #include "base/check.h"
 #include "base/thread_pool.h"
-#include "base/timer.h"
 #include "eco/candidates.h"
 #include "eco/clustering.h"
 #include "eco/costopt.h"
@@ -18,6 +17,8 @@
 #include "eco/relations.h"
 #include "eco/verify.h"
 #include "fraig/fraig.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace eco {
 namespace {
@@ -67,12 +68,26 @@ void assembleResult(const EcoInstance& instance,
 }  // namespace
 
 PatchResult EcoEngine::run(const EcoInstance& instance) const {
-  Timer timer;
+  // Stage accounting runs on obs spans (DESIGN.md "Observability"): each
+  // stage's kTimed span both feeds the Chrome trace (when a session is
+  // recording) and populates the pre-existing PatchResult wall-clock
+  // fields, so the human-readable report needs no separate timers.
+  obs::Span run_span("eco.run", obs::Span::Mode::kTimed);
+  const std::uint64_t sat_conflicts0 = obs::counterValue("sat.conflicts");
   PatchResult result;
+  // Process-wide SAT effort attributed to this run; exact for a single
+  // engine, an upper bound when several engines run concurrently.
+  const auto finishRun = [&] {
+    result.sat_conflicts = obs::counterValue("sat.conflicts") - sat_conflicts0;
+    result.seconds = run_span.stop();
+    ECO_OBS_COUNT("eco.runs", 1);
+    ECO_OBS_COUNT(result.success ? "eco.runs_ok" : "eco.runs_failed", 1);
+  };
   const std::uint32_t alpha = instance.numTargets();
   if (alpha == 0) {
     result.success = false;
     result.message = "instance has no targets";
+    finishRun();
     return result;
   }
 
@@ -91,10 +106,14 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
   // Report the pool's actual worker count: ThreadPool clamps outlandish
   // requests, and the legacy path is exactly one thread.
   result.num_threads_used = pool != nullptr ? pool->numWorkers() : 1;
-  Timer stage_timer;
 
-  Workspace ws = buildWorkspace(instance);
-  const std::vector<TargetCluster> clusters = clusterTargets(instance);
+  Workspace ws;
+  std::vector<TargetCluster> clusters;
+  {
+    obs::Span s("eco.setup");
+    ws = buildWorkspace(instance);
+    clusters = clusterTargets(instance);
+  }
   result.num_clusters = static_cast<std::uint32_t>(clusters.size());
 
   // Outputs no target can influence must already match the golden circuit.
@@ -108,16 +127,16 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
       if (!touched[j]) untouched.push_back(j);
     }
     if (!untouched.empty()) {
-      stage_timer.reset();
+      obs::Span s("eco.verify_untouched", obs::Span::Mode::kTimed);
       VerifyOutcome v = verifyUntouchedOutputs(ws, untouched);
-      result.verify_seconds += stage_timer.seconds();
+      result.verify_seconds += s.stop();
       if (!v.equivalent) {
         result.success = false;
         result.message =
             "unrectifiable: output " + std::to_string(v.failing_output) +
             " differs from golden but no target reaches it";
         result.counterexample = std::move(v.cex_inputs);
-        result.seconds = timer.seconds();
+        finishRun();
         return result;
       }
     }
@@ -126,7 +145,7 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
   // FRAIG stage (only needed when localization wants shared signals).
   std::optional<fraig::EquivClasses> classes;
   if (options_.use_localization) {
-    stage_timer.reset();
+    obs::Span s("eco.fraig", obs::Span::Mode::kTimed);
     std::vector<Lit> roots = ws.f_roots;
     roots.insert(roots.end(), ws.g_roots.begin(), ws.g_roots.end());
     fraig::Options fo;
@@ -134,7 +153,8 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
     fo.pool = pool;
     fraig::Stats fstats;
     classes = fraig::computeEquivClasses(ws.w, roots, fo, &fstats);
-    result.fraig_seconds = stage_timer.seconds();
+    s.arg("sat_queries", fstats.sat_queries);
+    result.fraig_seconds = s.stop();
     result.fraig_sat_queries = fstats.sat_queries;
     result.fraig_rounds = fstats.rounds;
   }
@@ -149,12 +169,16 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
   // candidate list, all const, and builds its own local network), so they
   // are dispatched to the pool; results are merged in cluster-index order
   // below so the output is identical regardless of the worker count.
-  stage_timer.reset();
+  obs::Span patchgen_span("eco.patchgen", obs::Span::Mode::kTimed);
   std::vector<TargetPatch> patches(alpha);
   {
     std::vector<ClusterPatchResult> cluster_results(clusters.size());
     std::vector<std::uint32_t> cluster_cut(clusters.size(), 0);
     const auto runCluster = [&](std::size_t ci) {
+      // Per-cluster span: on a multi-worker run these land in the pool
+      // workers' trace rows, the per-thread view of the PR-1 pipeline.
+      obs::Span s("eco.cluster");
+      s.arg("cluster", ci);
       const TargetCluster& cluster = clusters[ci];
       LocalNetwork net =
           buildLocalNetwork(instance, ws, cluster, candidates,
@@ -180,6 +204,8 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
     // Per-patch minimization is deterministic in isolation (own seed), so
     // patch order carries no state and the loop parallelizes directly.
     const auto minimizeOne = [&](std::size_t i) {
+      obs::Span s("eco.minimize_patch");
+      s.arg("target", i);
       MinimizeOptions mo;
       mo.seed = options_.seed;
       patches[i].fn = minimizeAig(patches[i].fn, mo);
@@ -191,21 +217,21 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
       for (std::size_t i = 0; i < patches.size(); ++i) minimizeOne(i);
     }
   }
-  result.patchgen_seconds = stage_timer.seconds();
+  result.patchgen_seconds = patchgen_span.stop();
 
   // Soundness gate: the initial patch must verify. The generation procedure
   // is complete for this formulation, so failure here means the instance is
   // not rectifiable through the given targets.
   {
-    stage_timer.reset();
+    obs::Span s("eco.verify_initial", obs::Span::Mode::kTimed);
     VerifyOutcome v = verifyPatches(ws, patches);
-    result.verify_seconds += stage_timer.seconds();
+    result.verify_seconds += s.stop();
     if (!v.equivalent) {
       result.success = false;
       result.message = "unrectifiable: initial patch fails verification at output " +
                        std::to_string(v.failing_output);
       result.counterexample = std::move(v.cex_inputs);
-      result.seconds = timer.seconds();
+      finishRun();
       return result;
     }
   }
@@ -216,7 +242,7 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
   // Cost optimization (Sec. 6): per-target rebasing with Watch/Hold/CPB
   // base selection, holding the other targets' patches fixed.
   if (options_.use_cost_opt) {
-    stage_timer.reset();
+    obs::Span opt_span("eco.opt", obs::Span::Mode::kTimed);
     // Cheapest-first candidate cap; per-target bases are appended below.
     std::vector<std::uint32_t> cheap_order(candidates.size());
     for (std::uint32_t i = 0; i < candidates.size(); ++i) cheap_order[i] = i;
@@ -245,6 +271,8 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
       for (std::uint32_t k = 0; k < alpha; ++k) {
         const TargetCluster& cluster = *cluster_of[k];
         if (cluster.outputs.empty()) continue;  // patch is trivially const
+        obs::Span target_span("eco.opt_target");
+        target_span.arg("target", k);
 
         // Candidate universe for this target: cheap prefix + current base.
         std::vector<std::uint32_t> universe = cheap_order;
@@ -335,7 +363,7 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
       }
       if (!improved) break;
     }
-    result.opt_seconds = stage_timer.seconds();
+    result.opt_seconds = opt_span.stop();
   }
 
   // Final verification (defense in depth for the optimization stage). A
@@ -344,23 +372,23 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
   // result (message prefixed "internal error") rather than aborting, so the
   // QA harness can catch, log, and shrink it.
   {
-    stage_timer.reset();
+    obs::Span s("eco.verify_final", obs::Span::Mode::kTimed);
     VerifyOutcome v = verifyPatches(ws, patches);
-    result.verify_seconds += stage_timer.seconds();
+    result.verify_seconds += s.stop();
     if (!v.equivalent) {
       result.success = false;
       result.message =
           "internal error: optimized patch failed verification at output " +
           std::to_string(v.failing_output);
       result.counterexample = std::move(v.cex_inputs);
-      result.seconds = timer.seconds();
+      finishRun();
       return result;
     }
   }
   assembleResult(instance, patches, result);
   result.success = true;
   result.message = "ok";
-  result.seconds = timer.seconds();
+  finishRun();
   return result;
 }
 

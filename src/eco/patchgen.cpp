@@ -7,6 +7,8 @@
 #include "eco/relations.h"
 #include "fraig/fraig.h"
 #include "itp/itp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace eco {
 namespace {
@@ -58,6 +60,8 @@ Lit synthesizePatch(LocalNetwork& net, const OnOffSets& oo,
 ClusterPatchResult dependentPatchGen(const TargetCluster& cluster,
                                      LocalNetwork& net,
                                      const EcoOptions& options) {
+  obs::Span span("eco.dependent_patchgen");
+  span.arg("targets", cluster.targets.size());
   ClusterPatchResult result;
   const std::uint32_t alpha = static_cast<std::uint32_t>(cluster.targets.size());
 
@@ -93,6 +97,7 @@ ClusterPatchResult dependentPatchGen(const TargetCluster& cluster,
     if (options.try_interpolation_first) {
       if (itp_failed) {
         ++result.itp_failures;
+        ECO_OBS_COUNT("eco.itp_fallbacks", 1);
       } else {
         ++result.itp_successes;
       }

@@ -17,10 +17,38 @@ std::string fmt(const char* format, ...) {
   return buf;
 }
 
-/// Ratio with 0/0 -> 1 convention (both engines degenerate equally).
-double safeRatio(double num, double den) {
-  if (den <= 0) return num <= 0 ? 1.0 : num;
-  return num / den;
+/// One ratio column of the comparison table. A ratio is only meaningful
+/// when the denominator is positive; a zero denominator with a zero
+/// numerator counts as parity (both engines degenerate equally), while a
+/// zero denominator with a positive numerator is unmeasurable and renders
+/// as "n/a" — never inf/nan, which would also poison the geomean.
+struct RatioCell {
+  double value = 1.0;
+  bool measurable = false;
+};
+
+RatioCell safeRatio(double num, double den) {
+  if (den > 0) return {num / den, true};
+  if (num <= 0) return {1.0, true};
+  return {1.0, false};
+}
+
+/// Accumulates log-ratios of the measurable cells of one column.
+struct GeoMean {
+  double log_sum = 0;
+  int n = 0;
+  void add(const RatioCell& r) {
+    if (!r.measurable) return;
+    log_sum += std::log(std::max(r.value, 1e-6));
+    ++n;
+  }
+  std::string str() const {
+    return n > 0 ? fmt("%6.3f", std::exp(log_sum / n)) : fmt("%6s", "n/a");
+  }
+};
+
+std::string ratioStr(const RatioCell& r) {
+  return r.measurable ? fmt("%6.3f", r.value) : fmt("%6s", "n/a");
 }
 
 }  // namespace
@@ -57,7 +85,7 @@ std::string formatComparisonTable(const std::vector<ComparisonRow>& rows) {
   os << fmt("%-10s %7s | %10s %6s %8s | %10s %6s %8s | %6s %6s %6s\n", "ckt",
             "#target", "b.cost", "b.size", "b.time", "o.cost", "o.size",
             "o.time", "r.cost", "r.size", "r.time");
-  double geo_cost = 0, geo_size = 0, geo_time = 0;
+  GeoMean geo_cost, geo_size, geo_time;
   int counted = 0;
   for (const ComparisonRow& row : rows) {
     if (!row.baseline.success || !row.ours.success) {
@@ -67,24 +95,25 @@ std::string formatComparisonTable(const std::vector<ComparisonRow>& rows) {
                 row.ours.success ? "ok" : row.ours.message.c_str());
       continue;
     }
-    const double rc = safeRatio(row.ours.cost, row.baseline.cost);
-    const double rs = safeRatio(row.ours.size, row.baseline.size);
-    const double rt = safeRatio(row.ours.seconds, row.baseline.seconds);
-    os << fmt(
-        "%-10s %7u | %10.1f %6u %7.2fs | %10.1f %6u %7.2fs | %6.3f %6.3f "
-        "%6.2f\n",
-        row.name.c_str(), row.num_targets, row.baseline.cost,
-        row.baseline.size, row.baseline.seconds, row.ours.cost, row.ours.size,
-        row.ours.seconds, rc, rs, rt);
-    geo_cost += std::log(std::max(rc, 1e-6));
-    geo_size += std::log(std::max(rs, 1e-6));
-    geo_time += std::log(std::max(rt, 1e-6));
+    const RatioCell rc = safeRatio(row.ours.cost, row.baseline.cost);
+    const RatioCell rs = safeRatio(row.ours.size, row.baseline.size);
+    const RatioCell rt = safeRatio(row.ours.seconds, row.baseline.seconds);
+    os << fmt("%-10s %7u | %10.1f %6u %7.2fs | %10.1f %6u %7.2fs | ",
+              row.name.c_str(), row.num_targets, row.baseline.cost,
+              row.baseline.size, row.baseline.seconds, row.ours.cost,
+              row.ours.size, row.ours.seconds)
+       << ratioStr(rc) << " " << ratioStr(rs) << " " << ratioStr(rt) << "\n";
+    geo_cost.add(rc);
+    geo_size.add(rs);
+    geo_time.add(rt);
     ++counted;
   }
   if (counted > 0) {
-    os << fmt("%-10s %7s | %27s | %27s | %6.3f %6.3f %6.2f  (geo. mean)\n",
-              "geomean", "", "", "", std::exp(geo_cost / counted),
-              std::exp(geo_size / counted), std::exp(geo_time / counted));
+    // Each column averages only its own measurable cells, so one zero-time
+    // baseline row cannot blank (or skew) the cost/size means.
+    os << fmt("%-10s %7s | %27s | %27s | ", "geomean", "", "", "")
+       << geo_cost.str() << " " << geo_size.str() << " " << geo_time.str()
+       << "  (geo. mean)\n";
   }
   return os.str();
 }

@@ -1,0 +1,168 @@
+#include "eco/report_json.h"
+
+#include <string_view>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace eco {
+namespace {
+
+using obs::json::Value;
+
+/// Required keys of the v1 schema, with the Kind each must carry. `success`
+/// and the numeric result block are the contract the bench trajectory and
+/// CI smoke tests rely on; everything else may be extended freely.
+struct RequiredKey {
+  const char* path;  ///< "section.key" (one level deep) or top-level key
+  Value::Kind kind;
+};
+
+constexpr RequiredKey kRequired[] = {
+    {"schema", Value::Kind::String},
+    {"schema_version", Value::Kind::Number},
+    {"instance.name", Value::Kind::String},
+    {"instance.num_inputs", Value::Kind::Number},
+    {"instance.num_outputs", Value::Kind::Number},
+    {"instance.num_targets", Value::Kind::Number},
+    {"result.success", Value::Kind::Bool},
+    {"result.cost", Value::Kind::Number},
+    {"result.size", Value::Kind::Number},
+    {"result.seconds", Value::Kind::Number},
+    {"result.num_clusters", Value::Kind::Number},
+    {"result.sat_conflicts", Value::Kind::Number},
+    {"stages.threads", Value::Kind::Number},
+    {"stages.fraig_seconds", Value::Kind::Number},
+    {"stages.patchgen_seconds", Value::Kind::Number},
+    {"stages.opt_seconds", Value::Kind::Number},
+    {"stages.verify_seconds", Value::Kind::Number},
+};
+
+const char* kindName(Value::Kind k) {
+  switch (k) {
+    case Value::Kind::Null: return "null";
+    case Value::Kind::Bool: return "bool";
+    case Value::Kind::Number: return "number";
+    case Value::Kind::String: return "string";
+    case Value::Kind::Array: return "array";
+    case Value::Kind::Object: return "object";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string writeJsonReport(const EcoInstance& instance, const PatchResult& r,
+                            const RunReportOptions& options) {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.key("schema"); w.value(kRunReportSchema);
+  w.key("schema_version"); w.value(static_cast<std::int64_t>(kRunReportSchemaVersion));
+
+  w.key("instance");
+  w.beginObject();
+  w.key("name"); w.value(instance.name);
+  w.key("num_inputs"); w.value(static_cast<std::uint64_t>(instance.num_x));
+  w.key("num_outputs"); w.value(static_cast<std::uint64_t>(instance.golden.numPos()));
+  w.key("num_targets"); w.value(static_cast<std::uint64_t>(instance.numTargets()));
+  w.key("faulty_ands"); w.value(static_cast<std::uint64_t>(instance.faulty.numAnds()));
+  w.key("golden_ands"); w.value(static_cast<std::uint64_t>(instance.golden.numAnds()));
+  w.endObject();
+
+  w.key("result");
+  w.beginObject();
+  w.key("success"); w.value(r.success);
+  if (!r.message.empty()) { w.key("message"); w.value(r.message); }
+  w.key("cost"); w.value(r.cost);
+  w.key("size"); w.value(static_cast<std::uint64_t>(r.size));
+  w.key("seconds"); w.valueFixed(r.seconds, 6);
+  w.key("initial_cost"); w.value(r.initial_cost);
+  w.key("initial_size"); w.value(static_cast<std::uint64_t>(r.initial_size));
+  w.key("num_clusters"); w.value(static_cast<std::uint64_t>(r.num_clusters));
+  w.key("cut_size"); w.value(static_cast<std::uint64_t>(r.cut_size));
+  w.key("itp_failures"); w.value(static_cast<std::uint64_t>(r.itp_failures));
+  w.key("sat_conflicts"); w.value(r.sat_conflicts);
+  w.endObject();
+
+  w.key("stages");
+  w.beginObject();
+  w.key("threads"); w.value(static_cast<std::uint64_t>(r.num_threads_used));
+  w.key("fraig_seconds"); w.valueFixed(r.fraig_seconds, 6);
+  w.key("patchgen_seconds"); w.valueFixed(r.patchgen_seconds, 6);
+  w.key("opt_seconds"); w.valueFixed(r.opt_seconds, 6);
+  w.key("verify_seconds"); w.valueFixed(r.verify_seconds, 6);
+  w.key("fraig_sat_queries"); w.value(r.fraig_sat_queries);
+  w.key("fraig_rounds"); w.value(static_cast<std::uint64_t>(r.fraig_rounds));
+  w.endObject();
+
+  if (options.include_base) {
+    w.key("base");
+    w.beginArray();
+    for (const BaseRef& b : r.base) {
+      w.beginObject();
+      w.key("name"); w.value(b.name);
+      w.key("weight"); w.value(b.weight);
+      w.key("inverted"); w.value(b.inverted);
+      w.endObject();
+    }
+    w.endArray();
+  }
+
+  if (options.include_metrics) {
+    w.key("metrics");
+    obs::writeMetricsJson(w, obs::snapshotMetrics());
+  }
+
+  w.endObject();
+  return w.take();
+}
+
+bool validateJsonReport(const std::string& json, std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  Value root;
+  std::string parse_error;
+  if (!obs::json::parse(json, &root, &parse_error)) {
+    return fail("run report is not valid JSON: " + parse_error);
+  }
+  if (root.kind != Value::Kind::Object) {
+    return fail("run report root must be an object");
+  }
+
+  for (const RequiredKey& req : kRequired) {
+    const std::string_view path(req.path);
+    const std::size_t dot = path.find('.');
+    const Value* v = nullptr;
+    if (dot == std::string_view::npos) {
+      v = root.find(std::string(path));
+    } else {
+      const Value* section = root.find(std::string(path.substr(0, dot)));
+      if (section == nullptr || section->kind != Value::Kind::Object) {
+        return fail("run report missing section '" +
+                    std::string(path.substr(0, dot)) + "'");
+      }
+      v = section->find(std::string(path.substr(dot + 1)));
+    }
+    if (v == nullptr) {
+      return fail("run report missing required key '" + std::string(path) + "'");
+    }
+    if (v->kind != req.kind) {
+      return fail("run report key '" + std::string(path) + "' must be " +
+                  kindName(req.kind) + ", got " + kindName(v->kind));
+    }
+  }
+
+  const Value* schema = root.find("schema");
+  if (schema->string != kRunReportSchema) {
+    return fail("unexpected schema name '" + schema->string + "'");
+  }
+  const double version = root.find("schema_version")->number;
+  if (version != static_cast<double>(kRunReportSchemaVersion)) {
+    return fail("unsupported schema_version " + std::to_string(version));
+  }
+  return true;
+}
+
+}  // namespace eco

@@ -1,0 +1,38 @@
+#pragma once
+// Machine-readable run reports: a versioned JSON schema for one engine
+// run, consumed by the bench harnesses (BENCH_*.json), the CLI --json
+// flag, the fuzz driver, and downstream trajectory tooling.
+//
+// Schema policy (DESIGN.md "Observability"): the document carries
+// `"schema": "ecopatch-run-report"` and an integer `"schema_version"`.
+// Additions of new keys are backward compatible and do NOT bump the
+// version; renaming, removing, or changing the type/meaning of an
+// existing key bumps it. Consumers must ignore unknown keys.
+
+#include <string>
+
+#include "eco/instance.h"
+
+namespace eco {
+
+inline constexpr const char* kRunReportSchema = "ecopatch-run-report";
+inline constexpr int kRunReportSchemaVersion = 1;
+
+struct RunReportOptions {
+  /// Embed a snapshot of the global obs metrics registry. Process-wide:
+  /// with several engine runs in one process the numbers are cumulative.
+  bool include_metrics = true;
+  /// List the selected base signals with their weights.
+  bool include_base = true;
+};
+
+/// Serializes one engine run as a schema-versioned JSON document.
+std::string writeJsonReport(const EcoInstance& instance, const PatchResult& r,
+                            const RunReportOptions& options = {});
+
+/// Structural validation of a run-report document: parses the JSON and
+/// checks schema name/version plus the presence and types of every
+/// required key. Returns false and fills `error` on the first violation.
+bool validateJsonReport(const std::string& json, std::string* error = nullptr);
+
+}  // namespace eco

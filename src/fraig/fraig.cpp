@@ -9,6 +9,8 @@
 #include "base/rng.h"
 #include "base/thread_pool.h"
 #include "cnf/cnf.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sat/solver.h"
 #include "sim/sim.h"
 
@@ -139,6 +141,7 @@ void checkPairChunk(const Aig& aig, std::span<const PairTask> tasks,
 
 EquivClasses computeEquivClasses(const Aig& aig, std::span<const Lit> roots,
                                  const Options& options, Stats* stats) {
+  obs::Span span("fraig.compute_classes");
   EquivClasses classes(aig.numNodes());
   Rng rng(options.seed);
   Stats local;
@@ -180,6 +183,8 @@ EquivClasses computeEquivClasses(const Aig& aig, std::span<const Lit> roots,
 
   for (std::uint32_t round = 0; round < options.max_rounds; ++round) {
     ++local.rounds;
+    obs::Span round_span("fraig.round");
+    round_span.arg("round", round);
     const sim::PatternSet values = sim::simulateAll(aig, patterns);
 
     // Bucket by canonical signature hash.
@@ -229,10 +234,15 @@ EquivClasses computeEquivClasses(const Aig& aig, std::span<const Lit> roots,
                   return a.rep != b.rep ? a.rep < b.rep : a.cand < b.cand;
                 });
 
+      ECO_OBS_OBSERVE("fraig.round_pairs", tasks.size());
       std::vector<PairResult> results(tasks.size());
       const std::size_t num_chunks =
           (tasks.size() + kPairChunk - 1) / kPairChunk;
       options.pool->parallelFor(num_chunks, [&](std::size_t c) {
+        // Runs on a pool worker: the chunk span lands in that worker's
+        // thread-local buffer and renders on its own trace row.
+        obs::Span chunk_span("fraig.pair_chunk");
+        chunk_span.arg("pairs", std::min(kPairChunk, tasks.size() - c * kPairChunk));
         const std::size_t begin = c * kPairChunk;
         const std::size_t len = std::min(kPairChunk, tasks.size() - begin);
         checkPairChunk(
@@ -346,12 +356,19 @@ EquivClasses computeEquivClasses(const Aig& aig, std::span<const Lit> roots,
     }
     patterns = std::move(extended);
   }
+  ECO_OBS_COUNT("fraig.sweeps", 1);
+  ECO_OBS_COUNT("fraig.rounds", local.rounds);
+  ECO_OBS_COUNT("fraig.sat_queries", local.sat_queries);
+  ECO_OBS_COUNT("fraig.counterexamples", local.counterexamples);
+  span.arg("sat_queries", local.sat_queries);
   if (stats != nullptr) *stats = local;
   return classes;
 }
 
 std::vector<Lit> compressCones(Aig& aig, std::span<const Lit> roots,
                                const Options& options) {
+  obs::Span span("fraig.compress");
+  ECO_OBS_COUNT("fraig.compress_calls", 1);
   const EquivClasses classes = computeEquivClasses(aig, roots, options);
   VarMap map;
   map[0] = kFalse;

@@ -1,6 +1,8 @@
 #include "itp/itp.h"
 
 #include "base/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sat/proof_check.h"
 
 namespace eco::itp {
@@ -23,11 +25,24 @@ void ItpJob::addPartitionClause(std::span<const sat::SLit> lits, Partition part)
 }
 
 sat::Status ItpJob::solve(std::int64_t conflict_budget) {
+  obs::Span span("itp.solve");
   solver_.setConflictBudget(conflict_budget);
-  return solver_.solve();
+  const sat::Status status = solver_.solve();
+  ECO_OBS_COUNT("itp.solve_calls", 1);
+  if (status == sat::Status::Unsat) {
+    ECO_OBS_COUNT("itp.unsat", 1);
+  } else {
+    // Sat (multi-output conflict, Sec. 4.3) or budgeted out: the caller
+    // falls back to the on-set function.
+    ECO_OBS_COUNT("itp.not_applicable", 1);
+  }
+  span.arg("conflicts", solver_.numConflicts());
+  return status;
 }
 
 Lit ItpJob::buildInterpolant(Aig& result) const {
+  obs::Span span("itp.build_interpolant");
+  const std::uint32_t ands_before = result.numAnds();
   const sat::Proof& proof = solver_.proof();
   ECO_CHECK_MSG(proof.has_empty_clause, "buildInterpolant requires an UNSAT proof");
 
@@ -92,7 +107,14 @@ Lit ItpJob::buildInterpolant(Aig& result) const {
       itp[id] = replayChain(proof.chains[id]);
     }
   }
-  return replayChain(proof.empty_clause);
+  const Lit root = replayChain(proof.empty_clause);
+  // Structural size of the interpolant before any downstream minimization
+  // (Sec. 4.3 quality signal: how compact the cores make the patches).
+  ECO_OBS_COUNT("itp.interpolants", 1);
+  ECO_OBS_OBSERVE("itp.interpolant_ands", result.numAnds() - ands_before);
+  ECO_OBS_OBSERVE("itp.proof_clauses", n_clauses);
+  span.arg("ands", result.numAnds() - ands_before);
+  return root;
 }
 
 }  // namespace eco::itp

@@ -1,0 +1,112 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/json.h"
+
+namespace eco::obs {
+namespace {
+
+/// Name-keyed interning maps. Deliberately leaked via a never-destroyed
+/// singleton so metric references stay valid during static destruction
+/// (worker threads and atexit handlers may still be counting).
+struct MetricMaps {
+  std::mutex mutex;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricMaps& maps() {
+  static MetricMaps* m = new MetricMaps();
+  return *m;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  MetricMaps& m = maps();
+  std::lock_guard<std::mutex> lock(m.mutex);
+  auto it = m.counters.find(std::string(name));
+  if (it == m.counters.end()) {
+    it = m.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& histogram(std::string_view name) {
+  MetricMaps& m = maps();
+  std::lock_guard<std::mutex> lock(m.mutex);
+  auto it = m.histograms.find(std::string(name));
+  if (it == m.histograms.end()) {
+    it = m.histograms.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint64_t counterValue(std::string_view name) {
+  MetricMaps& m = maps();
+  std::lock_guard<std::mutex> lock(m.mutex);
+  const auto it = m.counters.find(std::string(name));
+  return it == m.counters.end() ? 0 : it->second->value();
+}
+
+MetricsSnapshot snapshotMetrics() {
+  MetricsSnapshot snap;
+  MetricMaps& m = maps();
+  std::lock_guard<std::mutex> lock(m.mutex);
+  snap.counters.reserve(m.counters.size());
+  for (const auto& [name, c] : m.counters) {
+    snap.counters.push_back({name, c->value()});
+  }
+  std::sort(snap.counters.begin(), snap.counters.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  snap.histograms.reserve(m.histograms.size());
+  for (const auto& [name, h] : m.histograms) {
+    MetricsSnapshot::HistogramRow row;
+    row.name = name;
+    row.count = h->count();
+    row.sum = h->sum();
+    row.min = row.count > 0 ? h->min() : 0;
+    row.max = h->max();
+    for (std::uint32_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucketCount(i);
+      if (n != 0) row.buckets.emplace_back(Histogram::bucketLowerBound(i), n);
+    }
+    snap.histograms.push_back(std::move(row));
+  }
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return snap;
+}
+
+void writeMetricsJson(JsonWriter& w, const MetricsSnapshot& snapshot) {
+  w.beginObject();
+  w.key("counters").beginObject();
+  for (const auto& row : snapshot.counters) {
+    w.key(row.name).value(row.value);
+  }
+  w.endObject();
+  w.key("histograms").beginObject();
+  for (const auto& row : snapshot.histograms) {
+    w.key(row.name).beginObject();
+    w.key("count").value(row.count);
+    w.key("sum").value(row.sum);
+    w.key("min").value(row.min);
+    w.key("max").value(row.max);
+    w.key("buckets").beginArray();
+    for (const auto& [lower, n] : row.buckets) {
+      w.beginArray().value(lower).value(n).endArray();
+    }
+    w.endArray();
+    w.endObject();
+  }
+  w.endObject();
+  w.endObject();
+}
+
+}  // namespace eco::obs

@@ -1,0 +1,166 @@
+#pragma once
+// Global metrics registry: named monotonic counters and power-of-two
+// histograms with relaxed-atomic updates.
+//
+// Hot-path contract: an instrumentation site interns its metric once (the
+// ECO_OBS_COUNT / ECO_OBS_OBSERVE macros hide a function-local static
+// reference), after which every update is a handful of relaxed atomic
+// adds — safe from any thread, no locks, no allocation. Building with
+// -DECO_OBS_DISABLED=ON compiles every update site out entirely (the
+// macro arguments are not even evaluated), which is the baseline of the
+// EXPERIMENTS.md E12 overhead measurement.
+//
+// Metric names are dot-separated, lower-case, and stable: they are part
+// of the machine-readable run-report schema (see DESIGN.md
+// "Observability" for the full taxonomy).
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs_config.h"
+
+namespace eco::obs {
+
+class JsonWriter;
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+#if ECO_OBS_ENABLED
+    v_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Histogram over non-negative integer samples (durations in microseconds,
+/// sizes in nodes, conflicts per query, ...). Bucket i counts samples in
+/// [2^(i-1), 2^i); bucket 0 counts exact zeros. Updates are relaxed
+/// atomics; a snapshot taken during concurrent updates is internally
+/// consistent per field (count/sum/min/max may trail each other by a few
+/// in-flight samples, which reporting tolerates).
+class Histogram {
+ public:
+  static constexpr std::uint32_t kBuckets = 64;
+
+  void observe(std::uint64_t value) {
+#if ECO_OBS_ENABLED
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    buckets_[bucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    updateMin(value);
+    updateMax(value);
+#else
+    (void)value;
+#endif
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Meaningful only when count() > 0.
+  std::uint64_t min() const { return min_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t bucketCount(std::uint32_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  static std::uint32_t bucketOf(std::uint64_t value) {
+    if (value == 0) return 0;
+    const auto width = static_cast<std::uint32_t>(std::bit_width(value));
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+  /// Inclusive lower bound of bucket i.
+  static std::uint64_t bucketLowerBound(std::uint32_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+
+ private:
+  void updateMin(std::uint64_t value) {
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+  void updateMax(std::uint64_t value) {
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Interns `name` (first call registers, later calls return the same
+/// object). References stay valid for the process lifetime.
+Counter& counter(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+/// Current value of a registered counter; 0 when no site registered it.
+std::uint64_t counterValue(std::string_view name);
+
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct HistogramRow {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    /// (inclusive lower bound, count) for each non-empty bucket, ascending.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+  };
+  std::vector<CounterRow> counters;      ///< sorted by name
+  std::vector<HistogramRow> histograms;  ///< sorted by name
+};
+
+/// Snapshot of every registered metric, sorted by name.
+MetricsSnapshot snapshotMetrics();
+
+/// Writes the snapshot as {"counters": {...}, "histograms": {...}}.
+void writeMetricsJson(JsonWriter& w, const MetricsSnapshot& snapshot);
+
+// Interned-once update macros; the do/while swallows the trailing
+// semicolon and the disabled form does not evaluate its arguments.
+#if ECO_OBS_ENABLED
+#define ECO_OBS_COUNT(name, n)                                        \
+  do {                                                                \
+    static ::eco::obs::Counter& eco_obs_counter_ =                    \
+        ::eco::obs::counter(name);                                    \
+    eco_obs_counter_.add(n);                                          \
+  } while (0)
+#define ECO_OBS_OBSERVE(name, v)                                      \
+  do {                                                                \
+    static ::eco::obs::Histogram& eco_obs_histogram_ =                \
+        ::eco::obs::histogram(name);                                  \
+    eco_obs_histogram_.observe(v);                                    \
+  } while (0)
+#else
+#define ECO_OBS_COUNT(name, n) \
+  do {                         \
+    (void)sizeof(n);           \
+  } while (0)
+#define ECO_OBS_OBSERVE(name, v) \
+  do {                           \
+    (void)sizeof(v);             \
+  } while (0)
+#endif
+
+}  // namespace eco::obs

@@ -1,0 +1,9 @@
+#pragma once
+// Umbrella header for the observability layer: scoped tracing spans
+// (trace.h), the global metrics registry (metrics.h), and the JSON
+// emitter/parser they share (json.h). See DESIGN.md "Observability" for
+// the span taxonomy, metric name registry, and report schema policy.
+
+#include "obs/json.h"     // IWYU pragma: export
+#include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/trace.h"    // IWYU pragma: export

@@ -1,0 +1,13 @@
+#pragma once
+// Compile-time switch for the observability layer. The CMake option
+// ECO_OBS_DISABLED defines the macro of the same name globally, turning
+// every metric update and trace emission into a no-op (timed spans keep
+// timing — the engine's PatchResult stage fields predate this layer and
+// must stay populated). See EXPERIMENTS.md E12 for the overhead
+// methodology built on this switch.
+
+#ifdef ECO_OBS_DISABLED
+#define ECO_OBS_ENABLED 0
+#else
+#define ECO_OBS_ENABLED 1
+#endif

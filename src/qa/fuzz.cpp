@@ -6,6 +6,8 @@
 
 #include "base/timer.h"
 #include "io/instance_io.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace eco::qa {
 namespace {
@@ -54,6 +56,16 @@ FuzzOutcome runFuzz(const FuzzOptions& options) {
       std::fflush(options.log);
     }
   };
+  const auto progressLine = [&](std::uint64_t done, const char* tag) {
+    logf("eco_fuzz%s: %llu/%llu instances, %llu rectifiable, %llu failures, "
+         "%.1f inst/s\n",
+         tag, static_cast<unsigned long long>(done),
+         static_cast<unsigned long long>(options.count),
+         static_cast<unsigned long long>(outcome.rectifiable),
+         static_cast<unsigned long long>(outcome.failures),
+         static_cast<double>(done) / std::max(timer.seconds(), 1e-9));
+  };
+  double last_line_at = 0;
 
   for (std::uint64_t i = 0; i < options.count; ++i) {
     const std::uint64_t seed = options.seed + i;
@@ -114,18 +126,67 @@ FuzzOutcome runFuzz(const FuzzOptions& options) {
     }
 
     if (options.progress_every != 0 && (i + 1) % options.progress_every == 0) {
-      logf("eco_fuzz: %llu/%llu instances, %llu rectifiable, %llu failures, "
-           "%.1f inst/s\n",
-           static_cast<unsigned long long>(i + 1),
-           static_cast<unsigned long long>(options.count),
-           static_cast<unsigned long long>(outcome.rectifiable),
-           static_cast<unsigned long long>(outcome.failures),
-           static_cast<double>(i + 1) / std::max(timer.seconds(), 1e-9));
+      progressLine(i + 1, "");
+      last_line_at = timer.seconds();
+    } else if (options.heartbeat_seconds > 0 &&
+               timer.seconds() - last_line_at >= options.heartbeat_seconds) {
+      // A slow instance (or a sparse --progress setting) can leave a long
+      // sweep silent for minutes; the heartbeat keeps CI logs alive.
+      progressLine(i + 1, " [heartbeat]");
+      last_line_at = timer.seconds();
     }
   }
 
   outcome.seconds = timer.seconds();
   return outcome;
+}
+
+std::string fuzzJsonReport(const FuzzOptions& options,
+                           const FuzzOutcome& outcome) {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.key("schema"); w.value("ecopatch-fuzz-report");
+  w.key("schema_version"); w.value(std::int64_t{1});
+
+  w.key("options");
+  w.beginObject();
+  w.key("seed"); w.value(options.seed);
+  w.key("count"); w.value(options.count);
+  w.key("shrink"); w.value(options.shrink);
+  w.key("max_failures"); w.value(static_cast<std::uint64_t>(options.max_failures));
+  w.endObject();
+
+  w.key("outcome");
+  w.beginObject();
+  w.key("instances"); w.value(outcome.instances);
+  w.key("rectifiable"); w.value(outcome.rectifiable);
+  w.key("unrectifiable"); w.value(outcome.unrectifiable);
+  w.key("engine_runs"); w.value(outcome.engine_runs);
+  w.key("failures"); w.value(outcome.failures);
+  w.key("seconds"); w.valueFixed(outcome.seconds, 3);
+  w.key("instances_per_second"); w.valueFixed(outcome.instancesPerSecond(), 2);
+  w.key("clean"); w.value(outcome.clean());
+  w.endObject();
+
+  w.key("failing_seeds");
+  w.beginArray();
+  for (const FuzzFailure& f : outcome.shrunk_failures) {
+    w.beginObject();
+    w.key("seed"); w.value(f.seed);
+    w.key("shrunk_faulty_ands");
+    w.value(static_cast<std::uint64_t>(f.shrunk.faulty_ands));
+    if (!f.reproducer_path.empty()) {
+      w.key("reproducer"); w.value(f.reproducer_path);
+    }
+    w.endObject();
+  }
+  w.endArray();
+
+  w.key("metrics");
+  obs::writeMetricsJson(w, obs::snapshotMetrics());
+
+  w.endObject();
+  return w.take();
 }
 
 }  // namespace eco::qa

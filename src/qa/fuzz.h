@@ -27,6 +27,10 @@ struct FuzzOptions {
   std::string reproducer_dir;        ///< "" = do not serialize reproducers
   std::FILE* log = nullptr;          ///< nullptr = silent
   std::uint64_t progress_every = 0;  ///< 0 = no periodic progress lines
+  /// Emit a heartbeat progress line to `log` whenever this many seconds
+  /// elapse without one (long sweeps on slow instances would otherwise go
+  /// silent between `progress_every` marks). 0 disables the heartbeat.
+  double heartbeat_seconds = 0;
 };
 
 struct FuzzFailure {
@@ -57,5 +61,11 @@ FuzzOutcome runFuzz(const FuzzOptions& options);
 /// spec.txt). Returns the directory written, or "" on I/O failure.
 std::string writeReproducer(const std::string& dir, const std::string& name,
                             const ShrinkResult& shrunk);
+
+/// Machine-readable sweep summary ("ecopatch-fuzz-report" schema, version 1):
+/// options, aggregate outcome, failing seeds, and the global obs metrics
+/// snapshot. Uploaded as a nightly CI artifact alongside the trace.
+std::string fuzzJsonReport(const FuzzOptions& options,
+                           const FuzzOutcome& outcome);
 
 }  // namespace eco::qa

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "base/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace eco::sat {
 
@@ -59,7 +61,9 @@ ClauseId Solver::allocClause(std::span<const SLit> lits, bool learned) {
   lit_pool_.insert(lit_pool_.end(), lits.begin(), lits.end());
   const auto id = static_cast<ClauseId>(clauses_.size());
   clauses_.push_back(c);
+  clause_birth_.push_back(stats_conflicts_);
   if (log_proof_) proof_.chains.emplace_back();
+  if (learned) ECO_OBS_COUNT("sat.learned_clauses", 1);
   return id;
 }
 
@@ -89,6 +93,10 @@ void Solver::detachClause(ClauseId id) {
 void Solver::removeClause(ClauseId id) {
   detachClause(id);
   clauses_[id].deleted = true;
+  if (clauses_[id].learned) {
+    ECO_OBS_COUNT("sat.learned_deleted", 1);
+    ECO_OBS_OBSERVE("sat.learned_lifetime", stats_conflicts_ - clause_birth_[id]);
+  }
 }
 
 ClauseId Solver::addClause(std::span<const SLit> in_lits) {
@@ -564,6 +572,7 @@ Status Solver::search() {
       if (restart_conflicts >= restart_limit) {
         restart_conflicts = 0;
         restart_limit = 128 * luby(++restart_round);
+        ++stats_restarts_;
         cancelUntil(0);
       }
       continue;
@@ -608,11 +617,34 @@ Status Solver::solve(std::span<const SLit> assumptions) {
                 "proof logging supports assumption-free solving only");
   conflict_core_.clear();
   if (!ok_) return Status::Unsat;
+  obs::Span span("sat.solve");
+  const std::uint64_t conflicts0 = stats_conflicts_;
+  const std::uint64_t decisions0 = stats_decisions_;
+  const std::uint64_t propagations0 = stats_propagations_;
+  const std::uint64_t restarts0 = stats_restarts_;
   solve_start_conflicts_ = stats_conflicts_;
   assumptions_.assign(assumptions.begin(), assumptions.end());
   const Status result = search();
   cancelUntil(0);
   assumptions_.clear();
+
+  // Per-query effort accounting (DESIGN.md "Observability"): counters sum
+  // process-wide work, histograms keep the per-query distributions.
+  const std::uint64_t d_conflicts = stats_conflicts_ - conflicts0;
+  ECO_OBS_COUNT("sat.solve_calls", 1);
+  ECO_OBS_COUNT("sat.conflicts", d_conflicts);
+  ECO_OBS_COUNT("sat.decisions", stats_decisions_ - decisions0);
+  ECO_OBS_COUNT("sat.propagations", stats_propagations_ - propagations0);
+  ECO_OBS_COUNT("sat.restarts", stats_restarts_ - restarts0);
+  ECO_OBS_OBSERVE("sat.query_conflicts", d_conflicts);
+  ECO_OBS_OBSERVE("sat.query_decisions", stats_decisions_ - decisions0);
+  ECO_OBS_OBSERVE("sat.query_propagations", stats_propagations_ - propagations0);
+  switch (result) {
+    case Status::Sat: ECO_OBS_COUNT("sat.result_sat", 1); break;
+    case Status::Unsat: ECO_OBS_COUNT("sat.result_unsat", 1); break;
+    case Status::Undef: ECO_OBS_COUNT("sat.result_undef", 1); break;
+  }
+  span.arg("conflicts", d_conflicts);
   return result;
 }
 

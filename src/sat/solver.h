@@ -86,6 +86,7 @@ class Solver {
   std::uint64_t numConflicts() const { return stats_conflicts_; }
   std::uint64_t numDecisions() const { return stats_decisions_; }
   std::uint64_t numPropagations() const { return stats_propagations_; }
+  std::uint64_t numRestarts() const { return stats_restarts_; }
 
  private:
   struct Clause {
@@ -176,12 +177,18 @@ class Solver {
   std::vector<std::uint8_t> seen_;
   std::vector<ProofChain::Step> level0_steps_;
 
+  /// Conflict count at each clause's allocation; learned-clause lifetime
+  /// (deletion conflicts minus birth conflicts) feeds the
+  /// sat.learned_lifetime histogram when the clause is reduced away.
+  std::vector<std::uint64_t> clause_birth_;
+
   bool ok_ = true;
   std::int64_t conflict_budget_ = -1;
   std::uint64_t solve_start_conflicts_ = 0;
   std::uint64_t stats_conflicts_ = 0;
   std::uint64_t stats_decisions_ = 0;
   std::uint64_t stats_propagations_ = 0;
+  std::uint64_t stats_restarts_ = 0;
   std::uint64_t learned_since_reduce_ = 0;
   std::uint32_t num_learned_ = 0;
   std::uint32_t max_learned_ = 8192;

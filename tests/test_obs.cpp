@@ -1,0 +1,307 @@
+// Tests for the observability subsystem: JSON emitter/parser round trips,
+// metrics aggregation under concurrency, and trace sessions producing
+// well-formed Chrome trace_event JSON with per-thread monotonic spans.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "base/thread_pool.h"
+#include "obs/obs.h"
+
+namespace eco::obs {
+namespace {
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(Json, WriterEscapesAndNests) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("s"); w.value("a\"b\\c\n\t\x01");
+  w.key("n"); w.value(std::uint64_t{18446744073709551615ULL});
+  w.key("neg"); w.value(std::int64_t{-42});
+  w.key("f"); w.valueFixed(1.5, 3);
+  w.key("b"); w.value(true);
+  w.key("z"); w.nullValue();
+  w.key("arr");
+  w.beginArray();
+  w.value(std::uint32_t{1});
+  w.beginObject();
+  w.key("k"); w.value("v");
+  w.endObject();
+  w.endArray();
+  w.endObject();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"a\\\"b\\\\c\\n\\t\\u0001\","
+            "\"n\":18446744073709551615,\"neg\":-42,\"f\":1.500,"
+            "\"b\":true,\"z\":null,\"arr\":[1,{\"k\":\"v\"}]}");
+}
+
+TEST(Json, ParserRoundTripsWriterOutput) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("name"); w.value("xéy");
+  w.key("vals");
+  w.beginArray();
+  w.value(std::int64_t{-1});
+  w.valueFixed(0.25, 2);
+  w.endArray();
+  w.endObject();
+
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::parse(w.str(), &doc, &error)) << error;
+  ASSERT_TRUE(doc.isObject());
+  EXPECT_EQ(doc.find("name")->string, "xéy");
+  ASSERT_TRUE(doc.find("vals")->isArray());
+  EXPECT_EQ(doc.find("vals")->array[0].number, -1.0);
+  EXPECT_EQ(doc.find("vals")->array[1].number, 0.25);
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  json::Value doc;
+  std::string error;
+  EXPECT_FALSE(json::parse("", &doc, &error));
+  EXPECT_FALSE(json::parse("{", &doc, &error));
+  EXPECT_FALSE(json::parse("{\"a\":1,}", &doc, &error));
+  EXPECT_FALSE(json::parse("[1 2]", &doc, &error));
+  EXPECT_FALSE(json::parse("\"unterminated", &doc, &error));
+  EXPECT_FALSE(json::parse("{\"a\":1} trailing", &doc, &error));
+  EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+TEST(Json, RawValueSplicesDocument) {
+  JsonWriter inner;
+  inner.beginObject();
+  inner.key("x"); inner.value(std::uint64_t{7});
+  inner.endObject();
+  JsonWriter w;
+  w.beginObject();
+  w.key("first"); w.value(std::uint64_t{1});
+  w.key("inner"); w.rawValue(inner.str());
+  w.key("last"); w.value(std::uint64_t{2});
+  w.endObject();
+  json::Value doc;
+  ASSERT_TRUE(json::parse(w.str(), &doc, nullptr));
+  EXPECT_EQ(doc.find("inner")->find("x")->number, 7.0);
+  EXPECT_EQ(doc.find("last")->number, 2.0);
+}
+
+// ------------------------------------------------------------- metrics --
+
+TEST(Metrics, HistogramBucketMath) {
+  EXPECT_EQ(Histogram::bucketOf(0), 0u);
+  EXPECT_EQ(Histogram::bucketOf(1), 1u);
+  EXPECT_EQ(Histogram::bucketOf(2), 2u);
+  EXPECT_EQ(Histogram::bucketOf(3), 2u);
+  EXPECT_EQ(Histogram::bucketOf(4), 3u);
+  EXPECT_EQ(Histogram::bucketOf(~std::uint64_t{0}), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::bucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::bucketLowerBound(3), 4u);
+}
+
+#if ECO_OBS_ENABLED
+
+TEST(Metrics, CounterAndHistogramBasics) {
+  Counter& c = counter("test.obs.basic_counter");
+  const std::uint64_t before = c.value();
+  ECO_OBS_COUNT("test.obs.basic_counter", 3);
+  ECO_OBS_COUNT("test.obs.basic_counter", 2);
+  EXPECT_EQ(c.value(), before + 5);
+  EXPECT_EQ(counterValue("test.obs.basic_counter"), before + 5);
+  EXPECT_EQ(counterValue("test.obs.never_registered"), 0u);
+
+  Histogram& h = histogram("test.obs.basic_hist");
+  h.observe(0);
+  h.observe(5);
+  h.observe(100);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 105u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.bucketCount(Histogram::bucketOf(5)), 1u);
+}
+
+TEST(Metrics, ConcurrentAggregationIsExact) {
+  Counter& c = counter("test.obs.concurrent_counter");
+  Histogram& h = histogram("test.obs.concurrent_hist");
+  const std::uint64_t c0 = c.value();
+  const std::uint64_t n0 = h.count();
+  const std::uint64_t s0 = h.sum();
+
+  constexpr std::uint64_t kItems = 10000;
+  ThreadPool pool(4);
+  pool.parallelFor(kItems, [&](std::size_t i) {
+    c.add(2);
+    h.observe(i % 17);
+  });
+
+  EXPECT_EQ(c.value() - c0, 2 * kItems);
+  EXPECT_EQ(h.count() - n0, kItems);
+  std::uint64_t expected_sum = 0;
+  for (std::uint64_t i = 0; i < kItems; ++i) expected_sum += i % 17;
+  EXPECT_EQ(h.sum() - s0, expected_sum);
+}
+
+TEST(Metrics, SnapshotSerializesToValidJson) {
+  ECO_OBS_COUNT("test.obs.snap_counter", 1);
+  ECO_OBS_OBSERVE("test.obs.snap_hist", 9);
+  const MetricsSnapshot snap = snapshotMetrics();
+  JsonWriter w;
+  writeMetricsJson(w, snap);
+
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::parse(w.str(), &doc, &error)) << error;
+  const json::Value* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("test.obs.snap_counter"), nullptr);
+  const json::Value* hist = doc.find("histograms")->find("test.obs.snap_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GE(hist->find("count")->number, 1.0);
+  ASSERT_TRUE(hist->find("buckets")->isArray());
+}
+
+// --------------------------------------------------------------- trace --
+
+TEST(Trace, DisabledByDefaultAndSpansAreCheap) {
+  ASSERT_FALSE(traceEnabled());
+  Span s("test.untraced");
+  EXPECT_EQ(s.stop(), 0.0);  // kTrace mode does not even read the clock
+
+  Span timed("test.timed", Span::Mode::kTimed);
+  EXPECT_GE(timed.stop(), 0.0);  // kTimed always measures
+  EXPECT_EQ(timed.stop(), timed.stop());  // idempotent
+}
+
+TEST(Trace, SessionCapturesNestedSpansAcrossPoolWorkers) {
+  setThreadName("gtest-main");
+  startTrace();
+  {
+    Span outer("test.outer", Span::Mode::kTimed);
+    outer.arg("answer", 42);
+    {
+      Span inner("test.inner");
+      inner.arg("k", 7);
+    }
+    ThreadPool pool(3);
+    pool.parallelFor(16, [&](std::size_t i) {
+      Span worker("test.worker");
+      worker.arg("i", i);
+    });
+  }
+  const TraceDump dump = stopTrace();
+
+  ASSERT_FALSE(dump.events.empty());
+  EXPECT_EQ(dump.dropped_events, 0u);
+  EXPECT_GT(dump.session_ns, 0u);
+
+  std::size_t outer_n = 0, inner_n = 0, worker_n = 0;
+  std::uint32_t outer_tid = 0;
+  std::uint64_t outer_ts = 0, outer_end = 0;
+  for (const TraceEvent& e : dump.events) {
+    const std::string name = e.name;
+    if (name == "test.outer") {
+      ++outer_n;
+      outer_tid = e.tid;
+      outer_ts = e.ts_ns;
+      outer_end = e.ts_ns + e.dur_ns;
+      ASSERT_NE(e.arg_name, nullptr);
+      EXPECT_EQ(e.arg_value, 42u);
+    } else if (name == "test.inner") {
+      ++inner_n;
+    } else if (name == "test.worker") {
+      ++worker_n;
+    }
+  }
+  EXPECT_EQ(outer_n, 1u);
+  EXPECT_EQ(inner_n, 1u);
+  EXPECT_EQ(worker_n, 16u);
+
+  // The inner span is contained in the outer span on the same thread.
+  for (const TraceEvent& e : dump.events) {
+    if (std::string(e.name) == "test.inner") {
+      EXPECT_EQ(e.tid, outer_tid);
+      EXPECT_GE(e.ts_ns, outer_ts);
+      EXPECT_LE(e.ts_ns + e.dur_ns, outer_end);
+    }
+  }
+
+  // Per-thread monotonic start order (the dump is sorted by tid, ts).
+  std::map<std::uint32_t, std::uint64_t> last_ts;
+  for (const TraceEvent& e : dump.events) {
+    const auto it = last_ts.find(e.tid);
+    if (it != last_ts.end()) EXPECT_GE(e.ts_ns, it->second);
+    last_ts[e.tid] = e.ts_ns;
+  }
+
+  // Worker threads registered their names.
+  bool main_named = false, pool_named = false;
+  for (const auto& [tid, name] : dump.thread_names) {
+    if (name == "gtest-main") main_named = true;
+    if (name.rfind("pool-", 0) == 0) pool_named = true;
+  }
+  EXPECT_TRUE(main_named);
+  EXPECT_TRUE(pool_named);
+}
+
+TEST(Trace, ChromeExportIsValidTraceEventJson) {
+  // Each gtest case may run in its own process (ctest per-test invocation),
+  // so register this thread's name here rather than relying on a prior test.
+  setThreadName("gtest-main");
+  startTrace();
+  {
+    Span s("test.export", Span::Mode::kTimed);
+    s.arg("bytes", 1024);
+  }
+  const TraceDump dump = stopTrace();
+  const std::string json = chromeTraceJson(dump);
+
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::parse(json, &doc, &error)) << error;
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->isArray());
+
+  bool saw_export = false, saw_thread_name = false;
+  for (const json::Value& e : events->array) {
+    const std::string ph = e.find("ph")->string;
+    if (ph == "M" && e.find("name")->string == "thread_name") {
+      saw_thread_name = true;
+    }
+    if (ph != "X") continue;
+    EXPECT_GE(e.find("ts")->number, 0.0);
+    EXPECT_GE(e.find("dur")->number, 0.0);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    if (e.find("name")->string == "test.export") {
+      saw_export = true;
+      EXPECT_EQ(e.find("args")->find("bytes")->number, 1024.0);
+    }
+  }
+  EXPECT_TRUE(saw_export);
+  EXPECT_TRUE(saw_thread_name);
+}
+
+TEST(Trace, SecondSessionDoesNotReplayOldEvents) {
+  startTrace();
+  { Span s("test.first_session"); }
+  (void)stopTrace();
+
+  startTrace();
+  { Span s("test.second_session"); }
+  const TraceDump dump = stopTrace();
+  for (const TraceEvent& e : dump.events) {
+    EXPECT_STRNE(e.name, "test.first_session");
+  }
+}
+
+#endif  // ECO_OBS_ENABLED
+
+}  // namespace
+}  // namespace eco::obs

@@ -6,6 +6,8 @@
 #include "aig/aig_ops.h"
 #include "eco/engine.h"
 #include "eco/report.h"
+#include "eco/report_json.h"
+#include "obs/json.h"
 
 namespace eco {
 namespace {
@@ -100,6 +102,89 @@ TEST(Report, ComparisonTableHandlesFailures) {
   const std::string table = formatComparisonTable({row});
   EXPECT_NE(table.find("timeout"), std::string::npos);
   EXPECT_EQ(table.find("geomean"), std::string::npos);  // no counted rows
+}
+
+TEST(Report, ComparisonTableGuardsZeroTime) {
+  // A sub-millisecond baseline rounds to 0.00s; the time ratio must render
+  // as "n/a" (not inf/nan) and the cost/size geomeans must still appear.
+  ComparisonRow row;
+  row.name = "fast";
+  row.num_targets = 1;
+  row.baseline.success = true;
+  row.baseline.cost = 100;
+  row.baseline.size = 50;
+  row.baseline.seconds = 0.0;
+  row.ours.success = true;
+  row.ours.cost = 10;
+  row.ours.size = 5;
+  row.ours.seconds = 0.5;
+  const std::string table = formatComparisonTable({row});
+  EXPECT_NE(table.find("n/a"), std::string::npos);
+  EXPECT_EQ(table.find("inf"), std::string::npos);
+  EXPECT_EQ(table.find("nan"), std::string::npos);
+  EXPECT_NE(table.find("0.100"), std::string::npos);  // cost/size still ratio
+  EXPECT_NE(table.find("geomean"), std::string::npos);
+}
+
+TEST(Report, ComparisonTableZeroOverZeroIsParity) {
+  ComparisonRow row;
+  row.name = "degenerate";
+  row.baseline.success = true;
+  row.baseline.seconds = 0.0;
+  row.ours.success = true;
+  row.ours.seconds = 0.0;  // 0/0: both engines degenerate equally
+  const std::string table = formatComparisonTable({row});
+  EXPECT_EQ(table.find("inf"), std::string::npos);
+  EXPECT_EQ(table.find("nan"), std::string::npos);
+  EXPECT_NE(table.find("1.000"), std::string::npos);
+}
+
+TEST(ReportJson, RunReportValidates) {
+  const EcoInstance inst = tinyInstance();
+  const PatchResult r = EcoEngine().run(inst);
+  ASSERT_TRUE(r.success);
+  const std::string json = writeJsonReport(inst, r);
+  std::string error;
+  EXPECT_TRUE(validateJsonReport(json, &error)) << error;
+
+  obs::json::Value doc;
+  ASSERT_TRUE(obs::json::parse(json, &doc, &error)) << error;
+  EXPECT_EQ(doc.find("schema")->string, kRunReportSchema);
+  EXPECT_EQ(doc.find("instance")->find("name")->string, "report-tiny");
+  EXPECT_TRUE(doc.find("result")->find("success")->boolean);
+  EXPECT_EQ(doc.find("result")->find("cost")->number, r.cost);
+  // The stage seconds populated by the obs spans must be present and finite.
+  EXPECT_GE(doc.find("result")->find("seconds")->number, 0.0);
+  EXPECT_GE(doc.find("stages")->find("fraig_seconds")->number, 0.0);
+}
+
+TEST(ReportJson, ValidatorRejectsCorruptReports) {
+  const EcoInstance inst = tinyInstance();
+  PatchResult r;
+  r.success = true;
+  const std::string good = writeJsonReport(inst, r);
+  ASSERT_TRUE(validateJsonReport(good));
+
+  std::string error;
+  EXPECT_FALSE(validateJsonReport("{not json", &error));
+  EXPECT_NE(error.find("not valid JSON"), std::string::npos);
+
+  EXPECT_FALSE(validateJsonReport("[1,2,3]", &error));
+
+  // Wrong schema name.
+  std::string wrong = good;
+  const auto pos = wrong.find("ecopatch-run-report");
+  ASSERT_NE(pos, std::string::npos);
+  wrong.replace(pos, 8, "other-th");
+  EXPECT_FALSE(validateJsonReport(wrong, &error));
+
+  // Missing a required section.
+  std::string no_stages = good;
+  const auto spos = no_stages.find("\"stages\"");
+  ASSERT_NE(spos, std::string::npos);
+  no_stages.replace(spos, 8, "\"st_ges\"");
+  EXPECT_FALSE(validateJsonReport(no_stages, &error));
+  EXPECT_NE(error.find("stages"), std::string::npos);
 }
 
 }  // namespace

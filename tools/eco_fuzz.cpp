@@ -18,6 +18,10 @@
 //   --no-shrink       report failures without shrinking
 //   --max-failures N  stop after N failures (default 1)
 //   --progress N      progress line every N instances (default count/10)
+//   --heartbeat S     also emit a progress line after S silent seconds
+//                     (default 30; 0 disables)
+//   --json FILE       write a machine-readable sweep report
+//   --trace FILE      record a Chrome trace_event JSON of the whole sweep
 //   --quiet           suppress progress (failures still print)
 //
 // Exit codes: 0 clean sweep, 1 usage error, 3 discrepancies found.
@@ -25,8 +29,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "obs/trace.h"
 #include "qa/fuzz.h"
 
 namespace {
@@ -35,7 +41,8 @@ namespace {
   std::fprintf(stderr,
                "usage: eco_fuzz [--seed N] [--count N] [--threads N] "
                "[--plant-bug flip-po|misreport-cost] [--out DIR] "
-               "[--no-shrink] [--max-failures N] [--progress N] [--quiet]\n");
+               "[--no-shrink] [--max-failures N] [--progress N] "
+               "[--heartbeat S] [--json FILE] [--trace FILE] [--quiet]\n");
   std::exit(1);
 }
 
@@ -53,9 +60,11 @@ int main(int argc, char** argv) {
 
   qa::FuzzOptions opt;
   opt.log = stderr;
+  opt.heartbeat_seconds = 30;
   std::uint32_t threads = 0;
   bool quiet = false;
   std::uint64_t progress = 0;
+  std::string json_path, trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const auto arg = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
@@ -86,6 +95,12 @@ int main(int argc, char** argv) {
       opt.max_failures = static_cast<std::uint32_t>(parseU64(value()));
     } else if (arg("--progress")) {
       progress = parseU64(value());
+    } else if (arg("--heartbeat")) {
+      opt.heartbeat_seconds = std::strtod(value(), nullptr);
+    } else if (arg("--json")) {
+      json_path = value();
+    } else if (arg("--trace")) {
+      trace_path = value();
     } else if (arg("--quiet")) {
       quiet = true;
     } else {
@@ -94,8 +109,28 @@ int main(int argc, char** argv) {
   }
   opt.check.matrix = qa::defaultMatrix(threads);
   opt.progress_every = quiet ? 0 : (progress != 0 ? progress : opt.count / 10);
+  if (quiet) opt.heartbeat_seconds = 0;
 
+  if (!trace_path.empty()) obs::startTrace();
   const qa::FuzzOutcome outcome = qa::runFuzz(opt);
+  if (!trace_path.empty()) {
+    const obs::TraceDump dump = obs::stopTrace();
+    std::string trace_error;
+    if (!obs::writeChromeTrace(trace_path, dump, &trace_error)) {
+      std::fprintf(stderr, "eco_fuzz: %s\n", trace_error.c_str());
+    } else {
+      std::fprintf(stderr, "eco_fuzz: trace written to %s (%zu events)\n",
+                   trace_path.c_str(), dump.events.size());
+    }
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (out) {
+      out << qa::fuzzJsonReport(opt, outcome);
+    } else {
+      std::fprintf(stderr, "eco_fuzz: cannot write '%s'\n", json_path.c_str());
+    }
+  }
 
   std::printf(
       "eco_fuzz: %llu instances (seed %llu), %llu rectifiable, "
