@@ -10,11 +10,16 @@
 // Besides the human-readable table (eco::formatComparisonTable), the bench
 // writes BENCH_table2.json — per-unit run reports in the versioned
 // "ecopatch-run-report" schema plus the suite summary — to seed the perf
-// trajectory. Usage: bench_table2 [output.json] (default BENCH_table2.json;
-// "-" disables the file).
+// trajectory. Usage: bench_table2 [output.json] [--subset name1,name2,...]
+// (default BENCH_table2.json; "-" disables the file). --subset restricts the
+// run to the named units — the CI perf-regression gate pins a deterministic
+// subset so its wall-time geomean is comparable across commits (see
+// tools/bench_gate.py).
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -29,7 +34,24 @@
 int main(int argc, char** argv) {
   using namespace eco;
 
-  const std::string json_path = argc > 1 ? argv[1] : "BENCH_table2.json";
+  std::string json_path = "BENCH_table2.json";
+  std::vector<std::string> subset;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--subset") == 0 && i + 1 < argc) {
+      std::string csv = argv[++i];
+      std::size_t start = 0;
+      while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::string name =
+            csv.substr(start, comma == std::string::npos ? comma : comma - start);
+        if (!name.empty()) subset.push_back(name);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else {
+      json_path = argv[i];
+    }
+  }
 
   std::printf("E1 / Table 2: winner proxy vs cost-aware multi-fix flow\n");
 
@@ -38,6 +60,10 @@ int main(int argc, char** argv) {
   units.beginArray();
   int failures = 0;
   for (const auto& spec : benchgen::contestSuite()) {
+    if (!subset.empty() &&
+        std::find(subset.begin(), subset.end(), spec.name) == subset.end()) {
+      continue;
+    }
     const EcoInstance inst = benchgen::generateUnit(spec);
     ComparisonRow row;
     row.name = spec.name;

@@ -82,6 +82,9 @@ int main(int argc, char** argv) {
   const std::vector<Lit> fb = copyCones(b, rb, mb, miter);
 
   sat::Solver solver;
+  // One-shot equivalence query: preprocessing on; eliminated-variable model
+  // values are reconstructed before the counterexample is printed.
+  solver.setPreprocessing(true);
   cnf::SolverSink sink(solver);
   cnf::CnfMap map;
   std::vector<sat::SLit> x_lits;

@@ -19,6 +19,9 @@ std::vector<std::vector<bool>> collectCounterexamples(const Aig& faulty,
                                                       const Aig& golden,
                                                       std::uint32_t n) {
   sat::Solver solver;
+  // Incremental use (blocking clauses between solves), but those clauses
+  // only mention the X literals — preprocessing is safe once they're frozen.
+  solver.setPreprocessing(true);
   cnf::SolverSink sink(solver);
 
   // Shared X variables; both cones encoded against them.
@@ -44,6 +47,7 @@ std::vector<std::vector<bool>> collectCounterexamples(const Aig& faulty,
   std::vector<sat::SLit> x_lits;
   for (const Lit xi : x) {
     const sat::SLit l = sat::SLit::make(solver.newVar(), false);
+    solver.freezeVar(l.var());
     map[xi.var()] = l;
     x_lits.push_back(l);
   }

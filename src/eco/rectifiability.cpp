@@ -17,16 +17,22 @@ RectifiabilityResult checkRectifiability(const EcoInstance& instance,
   // Exists-solver: one incremental encoding of F(X,T) != ... == G(X) with
   // X constrained by assumptions; asks "does some T fix this X*?".
   sat::Solver exists_solver;
+  // The clause database is complete before the first solve; later calls only
+  // vary the assumptions (over frozen X) and read T values (frozen too), so
+  // preprocessing the encoding once is safe.
+  exists_solver.setPreprocessing(true);
   cnf::SolverSink exists_sink(exists_solver);
   cnf::CnfMap exists_map;
   std::vector<sat::SLit> x_lits, t_lits;
   for (const Lit x : ws.x_pis) {
     const sat::SLit l = sat::SLit::make(exists_solver.newVar(), false);
+    exists_solver.freezeVar(l.var());
     exists_map[x.var()] = l;
     x_lits.push_back(l);
   }
   for (const Lit t : ws.t_pis) {
     const sat::SLit l = sat::SLit::make(exists_solver.newVar(), false);
+    exists_solver.freezeVar(l.var());
     exists_map[t.var()] = l;
     t_lits.push_back(l);
   }
@@ -41,6 +47,9 @@ RectifiabilityResult checkRectifiability(const EcoInstance& instance,
 
   // Forall-solver: accumulates one "this strategy fails" miter per
   // discovered T-strategy; a model is an X no known strategy fixes.
+  // No preprocessing here: each addStrategy encodes a fresh cone that may
+  // reference any internal variable of the shared CNF map, which variable
+  // elimination would have removed.
   sat::Solver forall_solver;
   cnf::SolverSink forall_sink(forall_solver);
   cnf::CnfMap forall_map;

@@ -14,6 +14,9 @@ VerifyOutcome checkMiters(Workspace& ws, std::span<const Lit> a,
   VerifyOutcome out;
   Aig& w = ws.w;
   sat::Solver solver;
+  // One-shot query, no assumptions, no late clauses: preprocessing is safe,
+  // and model reads of eliminated variables are reconstructed.
+  solver.setPreprocessing(true);
   cnf::SolverSink sink(solver);
   cnf::CnfMap map;
   for (const Lit x : ws.x_pis) map[x.var()] = sat::SLit::make(solver.newVar(), false);

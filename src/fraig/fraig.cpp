@@ -86,6 +86,9 @@ constexpr std::size_t kPairChunk = 32;
 void checkPairChunk(const Aig& aig, std::span<const PairTask> tasks,
                     std::span<PairResult> results, std::int64_t budget,
                     std::uint64_t cex_seed) {
+  // Preprocessing stays off: each task's encodeCone call may reuse internal
+  // variables encoded by earlier tasks, which variable elimination would
+  // have removed from the database.
   sat::Solver solver;
   cnf::SolverSink sink(solver);
   cnf::CnfMap map;
@@ -158,7 +161,9 @@ EquivClasses computeEquivClasses(const Aig& aig, std::span<const Lit> roots,
       options.pool != nullptr && options.pool->numWorkers() >= 2;
 
   // Sequential path: one incremental solver over the whole region, cones
-  // encoded on demand. The parallel path instead encodes per pair.
+  // encoded on demand. The parallel path instead encodes per pair. Like the
+  // chunk solver, preprocessing must stay off — later cones reference
+  // earlier-encoded internals.
   sat::Solver solver;
   cnf::SolverSink sink(solver);
   cnf::CnfMap cnf_map;

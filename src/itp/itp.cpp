@@ -7,6 +7,10 @@
 
 namespace eco::itp {
 
+// log_proof also auto-gates SAT preprocessing OFF (Solver::setPreprocessing
+// is a no-op on a proof-logging solver): variable elimination rewrites the
+// clause database without resolution steps, which would break the chain
+// replay in buildInterpolant. Interpolation always solves the raw encoding.
 ItpJob::ItpJob()
     : solver_(/*log_proof=*/true),
       sink_a_(*this, Partition::A),

@@ -197,6 +197,8 @@ void checkFunctional(const EcoInstance& inst, const PatchResult& r,
   const Lit miter = m.mkOrN(xors);
   if (miter == kFalse) return;  // structurally equivalent
   sat::Solver solver;
+  // One-shot UNSAT-expected miter: safe to preprocess.
+  solver.setPreprocessing(true);
   cnf::SolverSink sink(solver);
   cnf::CnfMap map;
   for (const Lit x : pm->x_pis) {

@@ -1,0 +1,174 @@
+#pragma once
+// Contiguous arena allocation for clauses.
+//
+// Clauses live in one flat vector of 32-bit words and are addressed by
+// ClauseRef, a word offset into that arena. Compared to the previous
+// heap-per-clause scheme this removes a pointer chase per clause access
+// during propagation, keeps clauses of one solve densely packed in cache,
+// and makes the whole database relocatable: after learned-clause deletion
+// the solver compacts the arena by copying live clauses into a fresh
+// allocator, leaving MiniSat-style forwarding references behind so watch
+// lists and reason references can be rebound in one pass.
+//
+// Layout of one clause (all 32-bit words):
+//   [0] header: size << 4 | flags (learned, deleted, reloced)
+//   [1] stable ClauseId (proof/observability identity) — overwritten with
+//       the forwarding ClauseRef once the clause has been relocated
+//   [2] activity (float bit pattern; learned-clause deletion tiebreak)
+//   [3] LBD — literal-block distance at learning time, dynamically
+//       shrunk when conflict analysis sees a better value (glue clauses,
+//       LBD <= 2, are exempt from database reduction)
+//   [4..4+size) literals
+//
+// ClauseRefs are stable across arena growth (offsets, not pointers) but a
+// Clause& is invalidated by any alloc() — never hold one across an
+// allocation. Relocation (garbageCollect) changes refs but never the
+// stable ClauseId, so resolution-proof chains and the itp replay, which
+// speak ClauseId, survive compaction untouched.
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "base/check.h"
+#include "sat/types.h"
+
+namespace eco::sat {
+
+/// Word offset of a clause in the arena.
+using ClauseRef = std::uint32_t;
+inline constexpr ClauseRef kNoRef = 0xFFFFFFFFu;
+
+/// View of one clause inside the arena. Not an owning object: obtained via
+/// ClauseAllocator::at() and invalidated by the next alloc().
+class Clause {
+ public:
+  static constexpr std::uint32_t kHeaderWords = 4;
+
+  std::uint32_t size() const { return words()[0] >> 4; }
+  bool learned() const { return (words()[0] & kLearnedBit) != 0; }
+  bool deleted() const { return (words()[0] & kDeletedBit) != 0; }
+  bool reloced() const { return (words()[0] & kRelocedBit) != 0; }
+
+  std::uint32_t id() const { return words()[1]; }
+
+  float activity() const {
+    float f;
+    std::memcpy(&f, &words()[2], sizeof(f));
+    return f;
+  }
+  void setActivity(float a) { std::memcpy(&words()[2], &a, sizeof(a)); }
+
+  std::uint32_t lbd() const { return words()[3]; }
+  void setLbd(std::uint32_t lbd) { words()[3] = lbd; }
+
+  SLit& operator[](std::uint32_t i) { return litPtr()[i]; }
+  SLit operator[](std::uint32_t i) const { return litPtr()[i]; }
+  std::span<const SLit> lits() const { return {litPtr(), size()}; }
+  std::span<SLit> lits() { return {litPtr(), size()}; }
+
+  void markDeleted() { words()[0] |= kDeletedBit; }
+
+  /// Drops literals beyond `new_size` (preprocessing strengthening). The
+  /// allocator's wasted-word accounting is the caller's responsibility.
+  void shrink(std::uint32_t new_size) {
+    ECO_CHECK(new_size <= size());
+    words()[0] = (new_size << 4) | (words()[0] & 0xF);
+  }
+
+  /// Marks this clause as moved to `to` (forwarding stored in the id slot;
+  /// the relocated copy keeps the stable id).
+  void setRelocation(ClauseRef to) {
+    words()[0] |= kRelocedBit;
+    words()[1] = to;
+  }
+  ClauseRef relocation() const {
+    ECO_CHECK(reloced());
+    return words()[1];
+  }
+
+ private:
+  friend class ClauseAllocator;
+  static constexpr std::uint32_t kLearnedBit = 1u;
+  static constexpr std::uint32_t kDeletedBit = 2u;
+  static constexpr std::uint32_t kRelocedBit = 4u;
+
+  // A Clause is a view over arena words; instances are never constructed.
+  Clause() = delete;
+
+  std::uint32_t* words() { return reinterpret_cast<std::uint32_t*>(this); }
+  const std::uint32_t* words() const {
+    return reinterpret_cast<const std::uint32_t*>(this);
+  }
+  SLit* litPtr() { return reinterpret_cast<SLit*>(words() + kHeaderWords); }
+  const SLit* litPtr() const {
+    return reinterpret_cast<const SLit*>(words() + kHeaderWords);
+  }
+};
+
+class ClauseAllocator {
+ public:
+  ClauseAllocator() = default;
+
+  void reserveWords(std::size_t words) { mem_.reserve(words); }
+
+  /// Allocates a clause with stable identity `id`; returns its ref.
+  ClauseRef alloc(std::span<const SLit> lits, bool learned, std::uint32_t id) {
+    const auto ref = static_cast<ClauseRef>(mem_.size());
+    mem_.push_back((static_cast<std::uint32_t>(lits.size()) << 4) |
+                   (learned ? Clause::kLearnedBit : 0u));
+    mem_.push_back(id);
+    mem_.push_back(0);  // activity = 0.0f
+    mem_.push_back(0);  // lbd
+    for (const SLit l : lits) mem_.push_back(l.index());
+    return ref;
+  }
+
+  Clause& at(ClauseRef ref) {
+    ECO_CHECK(ref < mem_.size());
+    return *reinterpret_cast<Clause*>(mem_.data() + ref);
+  }
+  const Clause& at(ClauseRef ref) const {
+    ECO_CHECK(ref < mem_.size());
+    return *reinterpret_cast<const Clause*>(mem_.data() + ref);
+  }
+
+  /// Marks the clause's words as dead for the wasted-space accounting that
+  /// drives garbage collection. The words stay in place (and readable)
+  /// until the next garbageCollect().
+  void free(ClauseRef ref) {
+    Clause& c = at(ref);
+    ECO_CHECK(!c.deleted());
+    c.markDeleted();
+    wasted_ += Clause::kHeaderWords + c.size();
+  }
+
+  /// Accounts `words` literal words dropped by in-place shrinking.
+  void accountShrink(std::uint32_t words) { wasted_ += words; }
+
+  /// Moves the clause behind `ref` into `to` (or follows the forwarding
+  /// ref if it has already been moved) and rebinds `ref`.
+  void relocate(ClauseRef& ref, ClauseAllocator& to) {
+    Clause& c = at(ref);
+    if (c.reloced()) {
+      ref = c.relocation();
+      return;
+    }
+    ECO_CHECK_MSG(!c.deleted(), "relocating a deleted clause");
+    const ClauseRef nr = to.alloc(c.lits(), c.learned(), c.id());
+    to.at(nr).setActivity(c.activity());
+    to.at(nr).setLbd(c.lbd());
+    c.setRelocation(nr);
+    ref = nr;
+  }
+
+  std::size_t sizeWords() const { return mem_.size(); }
+  std::size_t wastedWords() const { return wasted_; }
+
+ private:
+  std::vector<std::uint32_t> mem_;
+  std::size_t wasted_ = 0;
+};
+
+}  // namespace eco::sat

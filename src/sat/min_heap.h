@@ -1,0 +1,111 @@
+#pragma once
+// Indexed binary min-heap over dense integer keys.
+//
+// The heap stores keys 0..N-1 with an inverse position map, so membership
+// tests, removal of the root, and order restoration after an external
+// priority change are all O(1)/O(log n) without searching. The ordering is
+// supplied by a strict-weak-order functor `Less`; the root is the minimum
+// under that order. The VSIDS picker instantiates it with "higher activity
+// orders first", which turns this min-heap into the classic max-activity
+// decision heap while keeping the container itself policy-free.
+//
+// `Less` is held by value; it typically carries a pointer to the external
+// key array (e.g. the activity vector), which must outlive the heap.
+
+#include <cstdint>
+#include <vector>
+
+#include "base/check.h"
+
+namespace eco::sat {
+
+template <typename Less>
+class IndexedMinHeap {
+ public:
+  explicit IndexedMinHeap(Less less) : less_(less) {}
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  bool contains(std::uint32_t key) const {
+    return key < pos_.size() && pos_[key] != kAbsent;
+  }
+
+  /// Grows the key universe to at least `key + 1` (new keys start absent).
+  void reserveKey(std::uint32_t key) {
+    if (key >= pos_.size()) pos_.resize(key + 1, kAbsent);
+  }
+
+  void insert(std::uint32_t key) {
+    reserveKey(key);
+    ECO_CHECK(pos_[key] == kAbsent);
+    pos_[key] = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back(key);
+    up(pos_[key]);
+  }
+
+  std::uint32_t top() const {
+    ECO_CHECK(!heap_.empty());
+    return heap_[0];
+  }
+
+  /// Removes and returns the minimum element.
+  std::uint32_t pop() {
+    const std::uint32_t root = top();
+    pos_[root] = kAbsent;
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      pos_[heap_[0]] = 0;
+      down(0);
+    }
+    return root;
+  }
+
+  /// Restores heap order after the key's external priority changed in
+  /// either direction. No-op if the key is absent.
+  void update(std::uint32_t key) {
+    if (!contains(key)) return;
+    const std::uint32_t i = pos_[key];
+    up(i);
+    down(pos_[key]);
+  }
+
+ private:
+  static constexpr std::uint32_t kAbsent = 0xFFFFFFFFu;
+
+  void up(std::uint32_t i) {
+    const std::uint32_t key = heap_[i];
+    while (i > 0) {
+      const std::uint32_t parent = (i - 1) >> 1;
+      if (!less_(key, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      pos_[heap_[i]] = i;
+      i = parent;
+    }
+    heap_[i] = key;
+    pos_[key] = i;
+  }
+
+  void down(std::uint32_t i) {
+    const std::uint32_t key = heap_[i];
+    const auto n = static_cast<std::uint32_t>(heap_.size());
+    for (;;) {
+      std::uint32_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && less_(heap_[child + 1], heap_[child])) ++child;
+      if (!less_(heap_[child], key)) break;
+      heap_[i] = heap_[child];
+      pos_[heap_[i]] = i;
+      i = child;
+    }
+    heap_[i] = key;
+    pos_[key] = i;
+  }
+
+  std::vector<std::uint32_t> heap_;  ///< key at each heap slot
+  std::vector<std::uint32_t> pos_;  ///< slot of each key, kAbsent if outside
+  Less less_;
+};
+
+}  // namespace eco::sat

@@ -1,0 +1,305 @@
+#include "sat/sat_preprocessor.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "sat/solver.h"
+
+namespace eco::sat {
+
+// --- SatRemapper -------------------------------------------------------------
+
+void SatRemapper::recordClause(SLit v_lit, std::span<const SLit> lits) {
+  // [distinguished-lit, other-lits..., size] — parsed backwards.
+  stream_.push_back(v_lit.index());
+  for (const SLit l : lits) {
+    if (l != v_lit) stream_.push_back(l.index());
+  }
+  stream_.push_back(static_cast<std::uint32_t>(lits.size()));
+}
+
+void SatRemapper::recordUnit(SLit l) {
+  stream_.push_back(l.index());
+  stream_.push_back(1);
+}
+
+void SatRemapper::extendModel(std::vector<LBool>& model) const {
+  // Backwards: the variable eliminated last is reconstructed first. Each
+  // group starts with its default-polarity unit (recorded last within the
+  // group), then the clauses of the recorded side override the default when
+  // one of them would be falsified.
+  for (std::size_t i = stream_.size(); i > 0;) {
+    const std::uint32_t n = stream_[i - 1];
+    const std::size_t begin = i - 1 - n;
+    // The distinguished literal (at `begin`) is excluded from the check:
+    // when no *other* literal satisfies the record, it is set true.
+    bool satisfied = false;
+    for (std::size_t j = begin + 1; j < i - 1; ++j) {
+      const SLit l = SLit::fromIndex(stream_[j]);
+      if ((model[l.var()] ^ l.sign()) != LBool::False) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) {
+      const SLit d = SLit::fromIndex(stream_[begin]);
+      model[d.var()] = lboolOf(!d.sign());
+    }
+    i = begin;
+  }
+}
+
+// --- Preprocessor ------------------------------------------------------------
+
+PreprocessStats Preprocessor::run(Solver& s) {
+  ECO_CHECK_MSG(s.decisionLevel() == 0, "preprocessing requires the root level");
+  ECO_CHECK_MSG(!s.log_proof_, "preprocessing is unsound under proof logging");
+  PreprocessStats st;
+  if (!s.ok_) return st;
+
+  // Work over occurrence lists; watches are rebuilt from scratch at the end.
+  for (auto& ws : s.watches_) ws.clear();
+  // Root-level reasons are never consulted again without proof logging, and
+  // pass 0 may free a satisfied unit clause some reason still points at —
+  // which would trip garbageCollect's relocation of reason refs. Drop them.
+  for (const SLit l : s.trail_) s.reason_[l.var()] = kNoRef;
+
+  const auto n_lit_indices = static_cast<std::size_t>(2) * s.numVars();
+  std::vector<std::vector<ClauseId>> occ(n_lit_indices);
+
+  const auto liveRef = [&](ClauseId id) -> ClauseRef {
+    const ClauseRef ref = s.clause_refs_[id];
+    if (ref == kNoRef || s.ca_.at(ref).deleted()) return kNoRef;
+    return ref;
+  };
+
+  const auto freeClause = [&](ClauseId id) {
+    const ClauseRef ref = s.clause_refs_[id];
+    Clause& c = s.ca_.at(ref);
+    if (c.learned() && c.size() > 1 && s.num_learned_ > 0) --s.num_learned_;
+    s.ca_.free(ref);
+    ++st.removed_clauses;
+    // Stale occurrence entries are skipped via liveRef at the consumer.
+  };
+
+  // Strips `l` from the (live, detached) clause `id`. Returns false on a
+  // root conflict (clause shrank to nothing).
+  const auto strengthen = [&](ClauseId id, SLit l) -> bool {
+    Clause& c = s.ca_.at(s.clause_refs_[id]);
+    auto lits = c.lits();
+    for (std::uint32_t k = 0; k < c.size(); ++k) {
+      if (lits[k] == l) {
+        std::swap(lits[k], lits[c.size() - 1]);
+        c.shrink(c.size() - 1);
+        s.ca_.accountShrink(1);
+        ++st.strengthened_lits;
+        break;
+      }
+    }
+    if (c.size() == 0) return false;
+    if (c.size() == 1) {
+      const SLit u = c[0];
+      if (s.value(u) == LBool::False) return false;
+      if (s.value(u) == LBool::Undef) {
+        s.enqueue(u, kNoRef);
+        ++st.propagated_units;
+      }
+      freeClause(id);  // now satisfied by the root assignment
+    }
+    return true;
+  };
+
+  // BCP to fixpoint over the occurrence lists. New root assignments remove
+  // satisfied clauses and strengthen the rest.
+  std::size_t proc = 0;
+  const auto bcp = [&]() -> bool {
+    while (proc < s.trail_.size()) {
+      const SLit p = s.trail_[proc++];
+      for (const ClauseId id : occ[p.index()]) {
+        if (liveRef(id) != kNoRef) freeClause(id);
+      }
+      occ[p.index()].clear();
+      for (const ClauseId id : occ[(~p).index()]) {
+        if (liveRef(id) == kNoRef) continue;
+        if (!strengthen(id, ~p)) return false;
+      }
+      occ[(~p).index()].clear();
+    }
+    return true;
+  };
+
+  // Pass 0: normalize every live clause against the existing root
+  // assignment and build the occurrence lists.
+  proc = s.trail_.size();  // pre-existing assignments are handled right here
+  for (ClauseId id = 0; id < s.clause_refs_.size(); ++id) {
+    if (liveRef(id) == kNoRef) continue;
+    Clause& c = s.ca_.at(s.clause_refs_[id]);
+    auto lits = c.lits();
+    bool satisfied = false;
+    std::uint32_t w = 0;
+    for (std::uint32_t k = 0; k < c.size(); ++k) {
+      const LBool v = s.value(lits[k]);
+      if (v == LBool::True) {
+        satisfied = true;
+        break;
+      }
+      if (v == LBool::False) {
+        ++st.strengthened_lits;
+        continue;
+      }
+      lits[w++] = lits[k];
+    }
+    if (satisfied) {
+      freeClause(id);
+      continue;
+    }
+    s.ca_.accountShrink(c.size() - w);
+    c.shrink(w);
+    if (w == 0) {
+      s.ok_ = false;
+      return s.pre_stats_ = st, st;
+    }
+    if (w == 1) {
+      s.enqueue(c[0], kNoRef);
+      ++st.propagated_units;
+      freeClause(id);
+      continue;
+    }
+    for (const SLit l : c.lits()) occ[l.index()].push_back(id);
+  }
+  if (!bcp()) {
+    s.ok_ = false;
+    return s.pre_stats_ = st, st;
+  }
+
+  // Compacts an occurrence list in place, dropping dead entries.
+  const auto liveOcc = [&](std::vector<ClauseId>& list) -> std::vector<ClauseId>& {
+    std::size_t w = 0;
+    for (const ClauseId id : list) {
+      if (liveRef(id) != kNoRef) list[w++] = id;
+    }
+    list.resize(w);
+    return list;
+  };
+
+  std::vector<std::uint8_t> mark(n_lit_indices, 0);
+  std::vector<std::vector<SLit>> resolvents;
+
+  // Elimination rounds: pure literals and bounded variable elimination.
+  for (std::uint32_t round = 0; round < limits_.max_rounds; ++round) {
+    bool changed = false;
+    for (Var v = 0; v < s.numVars(); ++v) {
+      if (s.frozen_[v] || s.eliminated_[v]) continue;
+      if (s.value(v) != LBool::Undef) continue;
+      const SLit pos_lit = SLit::make(v, false);
+      const SLit neg_lit = SLit::make(v, true);
+      auto& pos = liveOcc(occ[pos_lit.index()]);
+      auto& neg = liveOcc(occ[neg_lit.index()]);
+      if (pos.empty() && neg.empty()) continue;  // unconstrained, search decides
+      const std::size_t total = pos.size() + neg.size();
+      const bool pure = pos.empty() || neg.empty();
+
+      resolvents.clear();
+      if (!pure) {
+        if (total > limits_.max_occurrences) continue;
+        bool veto = false;
+        for (const ClauseId pid : pos) {
+          const auto p_lits = s.ca_.at(s.clause_refs_[pid]).lits();
+          for (const SLit l : p_lits) mark[l.index()] = 1;
+          for (const ClauseId nid : neg) {
+            const auto n_lits = s.ca_.at(s.clause_refs_[nid]).lits();
+            bool taut = false;
+            for (const SLit l : n_lits) {
+              if (l.var() != v && mark[(~l).index()]) {
+                taut = true;
+                break;
+              }
+            }
+            if (!taut) {
+              std::vector<SLit> r;
+              for (const SLit l : p_lits) {
+                if (l.var() != v) r.push_back(l);
+              }
+              for (const SLit l : n_lits) {
+                if (l.var() != v && !mark[l.index()]) r.push_back(l);
+              }
+              if (r.size() > limits_.max_resolvent_len ||
+                  resolvents.size() >=
+                      total + static_cast<std::size_t>(std::max(limits_.grow,
+                                                                std::int32_t{0}))) {
+                veto = true;
+                break;
+              }
+              resolvents.push_back(std::move(r));
+            }
+          }
+          for (const SLit l : p_lits) mark[l.index()] = 0;
+          if (veto) break;
+        }
+        if (veto) continue;
+      }
+
+      // Eliminate v: record the smaller polarity side for model
+      // reconstruction (the default-polarity unit satisfies the other side),
+      // drop all of v's clauses, add the resolvents.
+      const bool record_neg = pos.size() > neg.size();
+      const auto& rec_side = record_neg ? neg : pos;
+      const SLit rec_lit = record_neg ? neg_lit : pos_lit;
+      for (const ClauseId id : rec_side) {
+        s.remapper_.recordClause(rec_lit, s.ca_.at(s.clause_refs_[id]).lits());
+      }
+      s.remapper_.recordUnit(~rec_lit);
+      for (const ClauseId id : pos) freeClause(id);
+      for (const ClauseId id : neg) freeClause(id);
+      occ[pos_lit.index()].clear();
+      occ[neg_lit.index()].clear();
+      s.eliminated_[v] = true;
+      s.picker_.setDecidable(v, false);
+      ++st.eliminated_vars;
+      if (pure) ++st.pure_literals;
+      changed = true;
+
+      for (const auto& r : resolvents) {
+        ECO_CHECK(!r.empty());
+        if (r.size() == 1) {
+          if (s.value(r[0]) == LBool::False) {
+            s.ok_ = false;
+            return s.pre_stats_ = st, st;
+          }
+          if (s.value(r[0]) == LBool::Undef) {
+            s.enqueue(r[0], kNoRef);
+            ++st.propagated_units;
+          }
+          continue;
+        }
+        const ClauseRef ref = s.allocClause(r, /*learned=*/false);
+        const ClauseId id = s.ca_.at(ref).id();
+        for (const SLit l : r) occ[l.index()].push_back(id);
+        ++st.added_resolvents;
+      }
+      if (!bcp()) {
+        s.ok_ = false;
+        return s.pre_stats_ = st, st;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Rebuild the watch lists over the surviving clauses.
+  for (ClauseId id = 0; id < s.clause_refs_.size(); ++id) {
+    if (liveRef(id) == kNoRef) continue;
+    const Clause& c = s.ca_.at(s.clause_refs_[id]);
+    ECO_CHECK(c.size() >= 2);
+    s.attachClause(s.clause_refs_[id]);
+  }
+  s.qhead_ = static_cast<std::uint32_t>(s.trail_.size());
+
+  // Elimination typically kills a large fraction of the arena; compact now
+  // so search starts on a dense database.
+  if (s.ca_.wastedWords() > 0) s.garbageCollect();
+
+  s.pre_stats_ = st;
+  return st;
+}
+
+}  // namespace eco::sat

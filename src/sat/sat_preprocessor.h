@@ -1,0 +1,104 @@
+#pragma once
+// CNF preprocessing: BCP to fixpoint, pure-literal elimination, and
+// bounded variable elimination (BVE) with model reconstruction.
+//
+// The preprocessor runs once on a Solver's root-level clause database
+// before its first search (Solver::setPreprocessing). It detaches all
+// watches, works over occurrence lists, and re-attaches the simplified
+// database:
+//
+//   1. BCP to fixpoint — satisfied clauses are removed, root-false
+//      literals are stripped, and any unit produced along the way is
+//      propagated through the occurrence lists until closure (or a root
+//      conflict, which settles the instance).
+//   2. Pure-literal elimination — a variable occurring with only one
+//      polarity (among live clauses, frozen variables exempt) is
+//      eliminated; its clauses are recorded for model reconstruction.
+//   3. Bounded variable elimination — a variable is resolved away when the
+//      set of non-tautological resolvents is no larger than the clauses it
+//      replaces and no resolvent exceeds a length bound (classic
+//      NiVER/SatELite-style bounds).
+//
+// Model reconstruction: eliminating v removes information a model reader
+// needs, so the clauses of one polarity side (plus a default-polarity
+// marker) are pushed onto the SatRemapper's record stream. After a Sat
+// answer the solver replays the stream backwards — most recently
+// eliminated variable first — setting each eliminated variable so that
+// every recorded clause is satisfied. The scheme is MiniSat's elimclauses
+// encoding: records are laid out [distinguished-lit, rest..., size] so the
+// stream can be parsed in reverse.
+//
+// Proof logging: elimination rewrites the clause database without emitting
+// resolution steps, so the solver refuses to preprocess when proofs are
+// logged (interpolation queries auto-gate the pass off; see solver.h).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace eco::sat {
+
+class Solver;
+
+struct PreprocessStats {
+  std::uint32_t eliminated_vars = 0;   ///< total (pure + BVE)
+  std::uint32_t pure_literals = 0;     ///< eliminated as one-polarity vars
+  std::uint32_t removed_clauses = 0;   ///< satisfied + replaced by resolvents
+  std::uint32_t added_resolvents = 0;
+  std::uint32_t strengthened_lits = 0;  ///< root-false literals stripped
+  std::uint32_t propagated_units = 0;   ///< fixpoint BCP assignments
+};
+
+/// Replay log for reconstructing eliminated variables' model values.
+class SatRemapper {
+ public:
+  /// Records one clause of the eliminated variable `v`; `v_lit` is v's
+  /// literal as it occurs in `lits`.
+  void recordClause(SLit v_lit, std::span<const SLit> lits);
+
+  /// Records the default-polarity marker: extendModel sets `l` true unless
+  /// a later-replayed record overrides it.
+  void recordUnit(SLit l);
+
+  /// Extends `model` with values for every recorded variable. Walks the
+  /// stream backwards, so variables eliminated later are reconstructed
+  /// first (their values may feed earlier variables' clauses).
+  void extendModel(std::vector<LBool>& model) const;
+
+  bool empty() const { return stream_.empty(); }
+  void clear() { stream_.clear(); }
+
+ private:
+  /// Record layout: [distinguished-lit-index, other-lit-indices..., size].
+  std::vector<std::uint32_t> stream_;
+};
+
+class Preprocessor {
+ public:
+  struct Limits {
+    /// A variable is only considered for BVE when it occurs in at most
+    /// this many live clauses.
+    std::uint32_t max_occurrences = 16;
+    /// Resolvents longer than this veto the elimination.
+    std::uint32_t max_resolvent_len = 12;
+    /// Elimination may grow the clause count by at most this much.
+    std::int32_t grow = 0;
+    /// Full elimination passes over the variable range.
+    std::uint32_t max_rounds = 3;
+  };
+
+  Preprocessor() = default;
+  explicit Preprocessor(Limits limits) : limits_(limits) {}
+
+  /// Simplifies `solver`'s root-level database in place. Requires decision
+  /// level 0 and no proof logging. Returns the accumulated statistics
+  /// (also stored into the solver for its preprocessStats() accessor).
+  PreprocessStats run(Solver& solver);
+
+ private:
+  Limits limits_;
+};
+
+}  // namespace eco::sat

@@ -11,9 +11,12 @@ namespace eco::sat {
 
 namespace {
 
-constexpr double kVarDecay = 0.95;
 constexpr double kClauseDecay = 0.999;
-constexpr double kRescaleLimit = 1e100;
+constexpr double kClauseRescaleLimit = 1e20;
+/// Learned clauses with LBD at or below this are "glue" and never deleted.
+constexpr std::uint32_t kGlueLbd = 2;
+/// Growth of the learned-clause budget after each database reduction.
+constexpr std::uint32_t kReduceDbInc = 300;
 
 // Luby restart sequence (unit = 128 conflicts).
 std::uint64_t luby(std::uint64_t i) {
@@ -40,48 +43,48 @@ Var Solver::newVar() {
   const Var v = numVars();
   assigns_.push_back(LBool::Undef);
   model_.push_back(LBool::Undef);
-  polarity_.push_back(true);  // default phase: false (MiniSat convention)
   level_.push_back(0);
-  reason_.push_back(kNoClause);
+  reason_.push_back(kNoRef);
   trail_pos_.push_back(0);
-  activity_.push_back(0.0);
-  heap_pos_.push_back(kNotInHeap);
   seen_.push_back(0);
+  lbd_stamp_.push_back(0);
+  frozen_.push_back(false);
+  eliminated_.push_back(false);
   watches_.emplace_back();
   watches_.emplace_back();
-  heapInsert(v);
+  picker_.addVar();
   return v;
 }
 
-ClauseId Solver::allocClause(std::span<const SLit> lits, bool learned) {
-  Clause c;
-  c.begin = static_cast<std::uint32_t>(lit_pool_.size());
-  c.size = static_cast<std::uint32_t>(lits.size());
-  c.learned = learned;
-  lit_pool_.insert(lit_pool_.end(), lits.begin(), lits.end());
-  const auto id = static_cast<ClauseId>(clauses_.size());
-  clauses_.push_back(c);
+void Solver::freezeVar(Var v) {
+  ECO_CHECK(v < numVars());
+  ECO_CHECK_MSG(!eliminated_[v], "cannot freeze an already-eliminated variable");
+  frozen_[v] = true;
+}
+
+ClauseRef Solver::allocClause(std::span<const SLit> lits, bool learned) {
+  const auto id = static_cast<ClauseId>(clause_refs_.size());
+  const ClauseRef ref = ca_.alloc(lits, learned, id);
+  clause_refs_.push_back(ref);
   clause_birth_.push_back(stats_conflicts_);
   if (log_proof_) proof_.chains.emplace_back();
   if (learned) ECO_OBS_COUNT("sat.learned_clauses", 1);
-  return id;
+  return ref;
 }
 
-void Solver::attachClause(ClauseId id) {
-  const Clause& c = clauses_[id];
-  ECO_CHECK(c.size >= 2);
-  const SLit* lits = lit_pool_.data() + c.begin;
-  watches_[(~lits[0]).index()].push_back(Watcher{id, lits[1]});
-  watches_[(~lits[1]).index()].push_back(Watcher{id, lits[0]});
+void Solver::attachClause(ClauseRef ref) {
+  const Clause& c = ca_.at(ref);
+  ECO_CHECK(c.size() >= 2);
+  watches_[(~c[0]).index()].push_back(Watcher{ref, c[1]});
+  watches_[(~c[1]).index()].push_back(Watcher{ref, c[0]});
 }
 
-void Solver::detachClause(ClauseId id) {
-  const Clause& c = clauses_[id];
-  const SLit* lits = lit_pool_.data() + c.begin;
+void Solver::detachClause(ClauseRef ref) {
+  const Clause& c = ca_.at(ref);
   for (int i = 0; i < 2; ++i) {
-    auto& ws = watches_[(~lits[i]).index()];
+    auto& ws = watches_[(~c[i]).index()];
     for (std::size_t j = 0; j < ws.size(); ++j) {
-      if (ws[j].clause == id) {
+      if (ws[j].ref == ref) {
         ws[j] = ws.back();
         ws.pop_back();
         break;
@@ -90,13 +93,20 @@ void Solver::detachClause(ClauseId id) {
   }
 }
 
-void Solver::removeClause(ClauseId id) {
-  detachClause(id);
-  clauses_[id].deleted = true;
-  if (clauses_[id].learned) {
+bool Solver::locked(ClauseRef ref) const {
+  const Clause& c = ca_.at(ref);
+  return value(c[0]) == LBool::True && reason_[c[0].var()] == ref;
+}
+
+void Solver::removeClause(ClauseRef ref) {
+  detachClause(ref);
+  const Clause& c = ca_.at(ref);
+  if (c.learned()) {
     ECO_OBS_COUNT("sat.learned_deleted", 1);
-    ECO_OBS_OBSERVE("sat.learned_lifetime", stats_conflicts_ - clause_birth_[id]);
+    ECO_OBS_OBSERVE("sat.learned_lifetime",
+                    stats_conflicts_ - clause_birth_[c.id()]);
   }
+  ca_.free(ref);
 }
 
 ClauseId Solver::addClause(std::span<const SLit> in_lits) {
@@ -112,6 +122,9 @@ ClauseId Solver::addClause(std::span<const SLit> in_lits) {
   }
   for (SLit l : lits) {
     ECO_CHECK(l.var() < numVars());
+    ECO_CHECK_MSG(!eliminated_[l.var()],
+                  "clause mentions a preprocessing-eliminated variable; "
+                  "freeze such variables before the first solve");
     if (value(l) == LBool::True) return kNoClause;  // satisfied at root
   }
   // Root-false literals are *kept* (required for sound proof logging); put
@@ -123,17 +136,18 @@ ClauseId Solver::addClause(std::span<const SLit> in_lits) {
         return value(l) == LBool::Undef;
       }));
 
-  const ClauseId id = allocClause(lits, /*learned=*/false);
+  const ClauseRef ref = allocClause(lits, /*learned=*/false);
+  const ClauseId id = ca_.at(ref).id();
   if (n_free == 0) {
     // Falsified at the root: the formula is unsatisfiable.
-    if (log_proof_) deriveRootConflict(id);
+    if (log_proof_) deriveRootConflict(ref);
     ok_ = false;
     return id;
   }
-  if (lits.size() >= 2) attachClause(id);
+  if (lits.size() >= 2) attachClause(ref);
   if (n_free == 1) {
-    enqueue(lits[0], id);
-    if (const ClauseId confl = propagate(); confl != kNoClause) {
+    enqueue(lits[0], ref);
+    if (const ClauseRef confl = propagate(); confl != kNoRef) {
       if (log_proof_) deriveRootConflict(confl);
       ok_ = false;
     }
@@ -141,7 +155,7 @@ ClauseId Solver::addClause(std::span<const SLit> in_lits) {
   return id;
 }
 
-void Solver::enqueue(SLit l, ClauseId reason) {
+void Solver::enqueue(SLit l, ClauseRef reason) {
   ECO_CHECK(value(l) == LBool::Undef);
   const Var v = l.var();
   assigns_[v] = lboolOf(!l.sign());
@@ -151,7 +165,7 @@ void Solver::enqueue(SLit l, ClauseId reason) {
   trail_.push_back(l);
 }
 
-ClauseId Solver::propagate() {
+ClauseRef Solver::propagate() {
   while (qhead_ < trail_.size()) {
     const SLit p = trail_[qhead_++];
     ++stats_propagations_;
@@ -164,40 +178,40 @@ ClauseId Solver::propagate() {
         ws[keep++] = w;
         continue;
       }
-      Clause& c = clauses_[w.clause];
-      SLit* lits = lit_pool_.data() + c.begin;
+      Clause& c = ca_.at(w.ref);
       const SLit false_lit = ~p;
-      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
-      // lits[1] == false_lit now.
-      if (value(lits[0]) == LBool::True) {
-        ws[keep++] = Watcher{w.clause, lits[0]};
+      if (c[0] == false_lit) std::swap(c[0], c[1]);
+      // c[1] == false_lit now.
+      if (value(c[0]) == LBool::True) {
+        ws[keep++] = Watcher{w.ref, c[0]};
         continue;
       }
       // Find a replacement watch.
       bool moved = false;
-      for (std::uint32_t k = 2; k < c.size; ++k) {
-        if (value(lits[k]) != LBool::False) {
-          std::swap(lits[1], lits[k]);
-          watches_[(~lits[1]).index()].push_back(Watcher{w.clause, lits[0]});
+      const std::uint32_t size = c.size();
+      for (std::uint32_t k = 2; k < size; ++k) {
+        if (value(c[k]) != LBool::False) {
+          std::swap(c[1], c[k]);
+          watches_[(~c[1]).index()].push_back(Watcher{w.ref, c[0]});
           moved = true;
           break;
         }
       }
       if (moved) continue;
       // Clause is unit or conflicting under the current assignment.
-      ws[keep++] = Watcher{w.clause, lits[0]};
-      if (value(lits[0]) == LBool::False) {
+      ws[keep++] = Watcher{w.ref, c[0]};
+      if (value(c[0]) == LBool::False) {
         // Conflict: restore remaining watchers and report.
         for (std::size_t j = i + 1; j < ws.size(); ++j) ws[keep++] = ws[j];
         ws.resize(keep);
         qhead_ = static_cast<std::uint32_t>(trail_.size());
-        return w.clause;
+        return w.ref;
       }
-      enqueue(lits[0], w.clause);
+      enqueue(c[0], w.ref);
     }
     ws.resize(keep);
   }
-  return kNoClause;
+  return kNoRef;
 }
 
 void Solver::cancelUntil(std::uint32_t target) {
@@ -206,47 +220,52 @@ void Solver::cancelUntil(std::uint32_t target) {
     --i;
     const Var v = trail_[i].var();
     assigns_[v] = LBool::Undef;
-    polarity_[v] = trail_[i].sign();
-    reason_[v] = kNoClause;
-    if (!heapContains(v)) heapInsert(v);
+    picker_.savePhase(v, trail_[i].sign());
+    reason_[v] = kNoRef;
+    picker_.insert(v);
   }
   trail_.resize(trail_lim_[target]);
   trail_lim_.resize(target);
   qhead_ = static_cast<std::uint32_t>(trail_.size());
 }
 
-void Solver::bumpVar(Var v) {
-  activity_[v] += var_inc_;
-  if (activity_[v] > kRescaleLimit) {
-    for (auto& a : activity_) a *= 1e-100;
-    var_inc_ *= 1e-100;
-  }
-  if (heapContains(v)) heapDecrease(v);
-}
-
-void Solver::decayVarActivities() { var_inc_ /= kVarDecay; }
-
-void Solver::bumpClause(ClauseId id) {
-  Clause& c = clauses_[id];
-  if (!c.learned) return;
-  c.activity += static_cast<float>(clause_inc_);
-  if (c.activity > 1e20f) {
-    for (auto& cl : clauses_) {
-      if (cl.learned) cl.activity *= 1e-20f;
+void Solver::bumpClause(ClauseRef ref) {
+  Clause& c = ca_.at(ref);
+  if (!c.learned()) return;
+  c.setActivity(c.activity() + static_cast<float>(clause_inc_));
+  if (c.activity() > static_cast<float>(kClauseRescaleLimit)) {
+    for (const ClauseRef r : clause_refs_) {
+      if (r == kNoRef) continue;
+      Clause& cl = ca_.at(r);
+      if (cl.learned() && !cl.deleted()) cl.setActivity(cl.activity() * 1e-20f);
     }
     clause_inc_ *= 1e-20;
   }
 }
 
+std::uint32_t Solver::computeLbd(std::span<const SLit> lits) {
+  // Number of distinct decision levels among the (assigned) literals —
+  // Audemard & Simon's literal-block distance.
+  ++lbd_stamp_gen_;
+  std::uint32_t lbd = 0;
+  for (const SLit l : lits) {
+    const std::uint32_t lvl = level_[l.var()];
+    if (lbd_stamp_[lvl] != lbd_stamp_gen_) {
+      lbd_stamp_[lvl] = lbd_stamp_gen_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
 // --- analysis ----------------------------------------------------------------
 
-void Solver::analyze(ClauseId confl, std::vector<SLit>& learnt,
+void Solver::analyze(ClauseRef confl, std::vector<SLit>& learnt,
                      std::uint32_t& bt_level, ProofChain& chain) {
   learnt.clear();
   learnt.push_back(SLit());  // slot for the asserting literal
-  chain.start = confl;
+  chain.start = ca_.at(confl).id();
   chain.steps.clear();
-  level0_steps_.clear();
   std::vector<Var> level0_vars;  // root-level vars to resolve away at the end
   std::vector<Var> to_clear;
 
@@ -255,9 +274,19 @@ void Solver::analyze(ClauseId confl, std::vector<SLit>& learnt,
   SLit p;  // undefined on the first round: take the whole conflict clause
 
   for (;;) {
-    ECO_CHECK(confl != kNoClause);
+    ECO_CHECK(confl != kNoRef);
     bumpClause(confl);
-    for (const SLit q : clauseLits(confl)) {
+    {
+      // Dynamic LBD tightening (Glucose): a learned antecedent involved in
+      // a conflict gets its LBD refreshed when the current assignment gives
+      // a better (smaller) value, improving its survival odds in reduceDb.
+      Clause& c = ca_.at(confl);
+      if (c.learned() && c.lbd() > kGlueLbd) {
+        const std::uint32_t lbd = computeLbd(c.lits());
+        if (lbd < c.lbd()) c.setLbd(lbd);
+      }
+    }
+    for (const SLit q : ca_.at(confl).lits()) {
       // Skip the pivot: the reason clause contains the propagated literal p
       // itself (the running clause holds ~p).
       if (p.defined() && q == p) continue;
@@ -273,7 +302,7 @@ void Solver::analyze(ClauseId confl, std::vector<SLit>& learnt,
       }
       seen_[v] = 1;
       to_clear.push_back(v);
-      bumpVar(v);
+      picker_.bump(v);
       if (level_[v] == decisionLevel()) {
         ++counter;
       } else {
@@ -290,17 +319,16 @@ void Solver::analyze(ClauseId confl, std::vector<SLit>& learnt,
     --counter;
     if (counter == 0) break;
     confl = reason_[p.var()];
-    if (log_proof_) chain.steps.push_back({p.var(), confl});
+    if (log_proof_) chain.steps.push_back({p.var(), ca_.at(confl).id()});
   }
   learnt[0] = ~p;
 
   // Cheap self-subsumption minimization: drop a literal whose reason clause
   // is covered by the remaining clause (plus root-level literals).
-  std::vector<SLit> scratch;
   std::size_t w = 1;
   std::vector<std::pair<std::uint32_t, SLit>> removed;  // (trail pos, lit)
   for (std::size_t i = 1; i < learnt.size(); ++i) {
-    if (litRedundant(learnt[i], scratch)) {
+    if (litRedundant(learnt[i])) {
       removed.push_back({trail_pos_[learnt[i].var()], learnt[i]});
     } else {
       learnt[w++] = learnt[i];
@@ -314,9 +342,9 @@ void Solver::analyze(ClauseId confl, std::vector<SLit>& learnt,
               [](const auto& a, const auto& b) { return a.first > b.first; });
     for (const auto& [pos, lit] : removed) {
       (void)pos;
-      const ClauseId r = reason_[lit.var()];
-      chain.steps.push_back({lit.var(), r});
-      for (const SLit q : clauseLits(r)) {
+      const ClauseRef r = reason_[lit.var()];
+      chain.steps.push_back({lit.var(), ca_.at(r).id()});
+      for (const SLit q : ca_.at(r).lits()) {
         const Var v = q.var();
         if (level_[v] == 0 && !seen_[v]) {
           seen_[v] = 1;
@@ -340,10 +368,10 @@ void Solver::analyze(ClauseId confl, std::vector<SLit>& learnt,
         if (lv == v) { is_level0_target = true; break; }
       }
       if (!is_level0_target) continue;
-      const ClauseId r = reason_[v];
-      ECO_CHECK_MSG(r != kNoClause, "root-level literal without a reason");
-      chain.steps.push_back({v, r});
-      for (const SLit q : clauseLits(r)) {
+      const ClauseRef r = reason_[v];
+      ECO_CHECK_MSG(r != kNoRef, "root-level literal without a reason");
+      chain.steps.push_back({v, ca_.at(r).id()});
+      for (const SLit q : ca_.at(r).lits()) {
         const Var qv = q.var();
         if (qv == v) continue;
         if (!seen_[qv]) {
@@ -369,11 +397,10 @@ void Solver::analyze(ClauseId confl, std::vector<SLit>& learnt,
   }
 }
 
-bool Solver::litRedundant(SLit l, std::vector<SLit>& scratch) {
-  (void)scratch;
-  const ClauseId r = reason_[l.var()];
-  if (r == kNoClause) return false;
-  for (const SLit q : clauseLits(r)) {
+bool Solver::litRedundant(SLit l) {
+  const ClauseRef r = reason_[l.var()];
+  if (r == kNoRef) return false;
+  for (const SLit q : ca_.at(r).lits()) {
     if (q == ~l) continue;
     const Var v = q.var();
     if (level_[v] == 0) continue;
@@ -395,11 +422,11 @@ void Solver::analyzeFinal(SLit p) {
     --i;
     const Var v = trail_[i].var();
     if (!seen_[v]) continue;
-    if (reason_[v] == kNoClause) {
+    if (reason_[v] == kNoRef) {
       // Decision => an assumption. Report the assumption literal as taken.
       if (trail_[i] != ~p) conflict_core_.push_back(trail_[i]);
     } else {
-      for (const SLit q : clauseLits(reason_[v])) {
+      for (const SLit q : ca_.at(reason_[v]).lits()) {
         if (q.var() == v) continue;
         if (level_[q.var()] > 0 && !seen_[q.var()]) {
           seen_[q.var()] = 1;
@@ -411,13 +438,13 @@ void Solver::analyzeFinal(SLit p) {
   for (const Var v : to_clear) seen_[v] = 0;
 }
 
-void Solver::deriveRootConflict(ClauseId confl) {
+void Solver::deriveRootConflict(ClauseRef confl) {
   ProofChain& chain = proof_.empty_clause;
-  chain.start = confl;
+  chain.start = ca_.at(confl).id();
   chain.steps.clear();
   std::vector<std::uint8_t>& seen = seen_;
   std::vector<Var> to_clear;
-  for (const SLit q : clauseLits(confl)) {
+  for (const SLit q : ca_.at(confl).lits()) {
     ECO_CHECK(value(q) == LBool::False && level_[q.var()] == 0);
     if (!seen[q.var()]) {
       seen[q.var()] = 1;
@@ -428,10 +455,10 @@ void Solver::deriveRootConflict(ClauseId confl) {
     --i;
     const Var v = trail_[i].var();
     if (!seen[v]) continue;
-    const ClauseId r = reason_[v];
-    ECO_CHECK_MSG(r != kNoClause, "root conflict literal without a reason");
-    chain.steps.push_back({v, r});
-    for (const SLit q : clauseLits(r)) {
+    const ClauseRef r = reason_[v];
+    ECO_CHECK_MSG(r != kNoRef, "root conflict literal without a reason");
+    chain.steps.push_back({v, ca_.at(r).id()});
+    for (const SLit q : ca_.at(r).lits()) {
       if (q.var() == v) continue;
       if (!seen[q.var()]) {
         seen[q.var()] = 1;
@@ -443,86 +470,70 @@ void Solver::deriveRootConflict(ClauseId confl) {
   proof_.has_empty_clause = true;
 }
 
-// --- decision heap -------------------------------------------------------------
-
-void Solver::heapInsert(Var v) {
-  heap_pos_[v] = static_cast<std::uint32_t>(heap_.size());
-  heap_.push_back(v);
-  heapPercolateUp(heap_pos_[v]);
-}
-
-Var Solver::heapPop() {
-  const Var top = heap_[0];
-  heap_pos_[top] = kNotInHeap;
-  heap_[0] = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) {
-    heap_pos_[heap_[0]] = 0;
-    heapPercolateDown(0);
-  }
-  return top;
-}
-
-void Solver::heapDecrease(Var v) { heapPercolateUp(heap_pos_[v]); }
-
-void Solver::heapPercolateUp(std::uint32_t i) {
-  const Var v = heap_[i];
-  while (i > 0) {
-    const std::uint32_t parent = (i - 1) >> 1;
-    if (activity_[heap_[parent]] >= activity_[v]) break;
-    heap_[i] = heap_[parent];
-    heap_pos_[heap_[i]] = i;
-    i = parent;
-  }
-  heap_[i] = v;
-  heap_pos_[v] = i;
-}
-
-void Solver::heapPercolateDown(std::uint32_t i) {
-  const Var v = heap_[i];
-  const auto n = static_cast<std::uint32_t>(heap_.size());
-  for (;;) {
-    std::uint32_t child = 2 * i + 1;
-    if (child >= n) break;
-    if (child + 1 < n && activity_[heap_[child + 1]] > activity_[heap_[child]]) {
-      ++child;
-    }
-    if (activity_[heap_[child]] <= activity_[v]) break;
-    heap_[i] = heap_[child];
-    heap_pos_[heap_[i]] = i;
-    i = child;
-  }
-  heap_[i] = v;
-  heap_pos_[v] = i;
-}
-
-Var Solver::pickBranchVar() {
-  while (!heap_.empty()) {
-    const Var v = heapPop();
-    if (value(v) == LBool::Undef) return v;
-  }
-  return static_cast<Var>(kNotInHeap);
-}
-
-// --- clause database reduction ----------------------------------------------
+// --- clause database reduction & arena compaction ----------------------------
 
 void Solver::reduceDb() {
-  // Keep roughly half of the learned clauses, preferring active ones.
-  std::vector<ClauseId> learned;
-  for (ClauseId id = 0; id < clauses_.size(); ++id) {
-    const Clause& c = clauses_[id];
-    if (!c.learned || c.deleted || c.size <= 2) continue;
-    // Locked clauses (reason of a current assignment) must stay.
-    const SLit first = lit_pool_[c.begin];
-    if (value(first) == LBool::True && reason_[first.var()] == id) continue;
-    learned.push_back(id);
+  // Delete the worst half of the deletable learned clauses. "Worst" is
+  // highest LBD first, lowest activity as the tiebreak (Glucose ordering).
+  // Glue clauses (LBD <= kGlueLbd), binary clauses, and clauses locked as
+  // the reason of a current assignment are exempt.
+  std::vector<ClauseRef> deletable;
+  for (const ClauseRef ref : clause_refs_) {
+    if (ref == kNoRef) continue;
+    const Clause& c = ca_.at(ref);
+    if (!c.learned() || c.deleted() || c.size() <= 2) continue;
+    if (c.lbd() <= kGlueLbd) continue;
+    if (locked(ref)) continue;
+    deletable.push_back(ref);
   }
-  std::sort(learned.begin(), learned.end(), [&](ClauseId a, ClauseId b) {
-    return clauses_[a].activity < clauses_[b].activity;
+  std::sort(deletable.begin(), deletable.end(), [&](ClauseRef a, ClauseRef b) {
+    const Clause& ca = ca_.at(a);
+    const Clause& cb = ca_.at(b);
+    if (ca.lbd() != cb.lbd()) return ca.lbd() > cb.lbd();
+    return ca.activity() < cb.activity();
   });
-  const std::size_t n_remove = learned.size() / 2;
-  for (std::size_t i = 0; i < n_remove; ++i) removeClause(learned[i]);
+  const std::size_t n_remove = deletable.size() / 2;
+  for (std::size_t i = 0; i < n_remove; ++i) removeClause(deletable[i]);
   num_learned_ -= static_cast<std::uint32_t>(n_remove);
+  reduce_db_limit_ += kReduceDbInc;
+  ++stats_db_reductions_;
+  ECO_OBS_COUNT("sat.db_reductions", 1);
+  maybeGarbageCollect();
+}
+
+void Solver::maybeGarbageCollect() {
+  // Compact once a fifth of the arena is dead words.
+  if (ca_.wastedWords() * 5 >= ca_.sizeWords() && ca_.wastedWords() > 0) {
+    garbageCollect();
+  }
+}
+
+void Solver::garbageCollect() {
+  ClauseAllocator to;
+  to.reserveWords(ca_.sizeWords() - ca_.wastedWords());
+  // Watch lists hold only attached (live) clauses.
+  for (auto& ws : watches_) {
+    for (Watcher& w : ws) ca_.relocate(w.ref, to);
+  }
+  // Reasons of assigned variables; reason clauses are locked, hence live.
+  for (const SLit l : trail_) {
+    ClauseRef& r = reason_[l.var()];
+    if (r != kNoRef) ca_.relocate(r, to);
+  }
+  // The stable id -> ref table: dead clauses are dropped here, live ones
+  // (including unattached unit/root clauses kept for proof logging) move.
+  for (ClauseRef& ref : clause_refs_) {
+    if (ref == kNoRef) continue;
+    const Clause& c = ca_.at(ref);
+    if (c.deleted() && !c.reloced()) {
+      ref = kNoRef;
+      continue;
+    }
+    ca_.relocate(ref, to);
+  }
+  ca_ = std::move(to);
+  ++stats_gcs_;
+  ECO_OBS_COUNT("sat.arena_gcs", 1);
 }
 
 // --- search --------------------------------------------------------------------
@@ -534,8 +545,8 @@ Status Solver::search() {
   std::vector<SLit> learnt;
 
   for (;;) {
-    const ClauseId confl = propagate();
-    if (confl != kNoClause) {
+    const ClauseRef confl = propagate();
+    if (confl != kNoRef) {
       ++stats_conflicts_;
       ++restart_conflicts;
       if (decisionLevel() == 0) {
@@ -548,21 +559,38 @@ Status Solver::search() {
       ProofChain chain;
       analyze(confl, learnt, bt_level, chain);
       cancelUntil(bt_level);
+      const std::uint32_t lbd = computeLbd(learnt);
+      ECO_OBS_OBSERVE("sat.learned_lbd", lbd);
       if (learnt.size() == 1) {
-        const ClauseId id = allocClause(learnt, /*learned=*/true);
-        if (log_proof_) proof_.chains[id] = std::move(chain);
+        const ClauseRef ref = allocClause(learnt, /*learned=*/true);
+        if (log_proof_) proof_.chains[ca_.at(ref).id()] = std::move(chain);
         cancelUntil(0);
-        if (value(learnt[0]) == LBool::Undef) enqueue(learnt[0], id);
+        if (value(learnt[0]) == LBool::Undef) enqueue(learnt[0], ref);
       } else {
-        const ClauseId id = allocClause(learnt, /*learned=*/true);
-        if (log_proof_) proof_.chains[id] = std::move(chain);
-        attachClause(id);
-        bumpClause(id);
+        const ClauseRef ref = allocClause(learnt, /*learned=*/true);
+        Clause& c = ca_.at(ref);
+        c.setLbd(lbd);
+        if (log_proof_) proof_.chains[c.id()] = std::move(chain);
+        attachClause(ref);
+        bumpClause(ref);
         ++num_learned_;
-        enqueue(learnt[0], id);
+        enqueue(learnt[0], ref);
       }
-      decayVarActivities();
+      picker_.decay();
       clause_inc_ /= kClauseDecay;
+      if (clause_inc_ > kClauseRescaleLimit) {
+        // The increment grows every conflict whether or not any learned
+        // clause was bumped; rescale it (and the activities, to keep their
+        // relative order against future bumps) before it reaches infinity.
+        for (const ClauseRef r : clause_refs_) {
+          if (r == kNoRef) continue;
+          Clause& cl = ca_.at(r);
+          if (cl.learned() && !cl.deleted()) {
+            cl.setActivity(cl.activity() * 1e-20f);
+          }
+        }
+        clause_inc_ *= 1e-20;
+      }
       if (conflict_budget_ >= 0 &&
           stats_conflicts_ - solve_start_conflicts_ >=
               static_cast<std::uint64_t>(conflict_budget_)) {
@@ -578,10 +606,7 @@ Status Solver::search() {
       continue;
     }
 
-    if (!log_proof_ && num_learned_ >= max_learned_) {
-      reduceDb();
-      max_learned_ += max_learned_ / 10;
-    }
+    if (!log_proof_ && num_learned_ >= reduce_db_limit_) reduceDb();
 
     // Establish assumptions, then decide.
     SLit next;
@@ -598,17 +623,18 @@ Status Solver::search() {
       }
     }
     if (!next.defined()) {
-      const Var v = pickBranchVar();
-      if (v == static_cast<Var>(kNotInHeap)) {
-        // All variables assigned: a model.
+      const Var v = picker_.pick([&](Var u) { return value(u) == LBool::Undef; });
+      if (v == VsidsPicker::kNoVar) {
+        // All decidable variables assigned: a model. Eliminated variables
+        // are reconstructed from the remapper in solve().
         model_ = assigns_;
         return Status::Sat;
       }
       ++stats_decisions_;
-      next = SLit::make(v, polarity_[v]);
+      next = SLit::make(v, picker_.savedPhase(v));
     }
     trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
-    enqueue(next, kNoClause);
+    enqueue(next, kNoRef);
   }
 }
 
@@ -616,7 +642,25 @@ Status Solver::solve(std::span<const SLit> assumptions) {
   ECO_CHECK_MSG(!log_proof_ || assumptions.empty(),
                 "proof logging supports assumption-free solving only");
   conflict_core_.clear();
+  if (preprocess_ && !preprocessed_ && ok_) {
+    preprocessed_ = true;
+    obs::Span pre_span("sat.preprocess");
+    pre_stats_ = Preprocessor().run(*this);
+    pre_span.arg("eliminated", pre_stats_.eliminated_vars);
+    ECO_OBS_COUNT("sat.pre_runs", 1);
+    ECO_OBS_COUNT("sat.pre_eliminated_vars", pre_stats_.eliminated_vars);
+    ECO_OBS_COUNT("sat.pre_pure_literals", pre_stats_.pure_literals);
+    ECO_OBS_COUNT("sat.pre_removed_clauses", pre_stats_.removed_clauses);
+    ECO_OBS_COUNT("sat.pre_resolvents", pre_stats_.added_resolvents);
+    ECO_OBS_COUNT("sat.pre_strengthened_lits", pre_stats_.strengthened_lits);
+    ECO_OBS_COUNT("sat.pre_units", pre_stats_.propagated_units);
+  }
   if (!ok_) return Status::Unsat;
+  for (const SLit a : assumptions) {
+    ECO_CHECK_MSG(!eliminated_[a.var()],
+                  "assumption on an eliminated variable; freeze assumption "
+                  "variables before the first solve");
+  }
   obs::Span span("sat.solve");
   const std::uint64_t conflicts0 = stats_conflicts_;
   const std::uint64_t decisions0 = stats_decisions_;
@@ -627,6 +671,9 @@ Status Solver::solve(std::span<const SLit> assumptions) {
   const Status result = search();
   cancelUntil(0);
   assumptions_.clear();
+  if (result == Status::Sat && !remapper_.empty()) {
+    remapper_.extendModel(model_);
+  }
 
   // Per-query effort accounting (DESIGN.md "Observability"): counters sum
   // process-wide work, histograms keep the per-query distributions.

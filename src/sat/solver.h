@@ -1,16 +1,34 @@
 #pragma once
-// CDCL SAT solver in the MiniSat lineage.
+// CDCL SAT solver — modern clause-management core in the MiniSat/Glucose
+// lineage.
 //
-// Features: two-literal watching, VSIDS decision heuristic with phase
-// saving, Luby restarts, first-UIP clause learning with cheap
-// self-subsumption minimization, activity-based learned-clause deletion,
-// incremental solving under unit assumptions with final-conflict
-// (unsat-core) extraction, and optional resolution proof logging for
-// Craig interpolation.
+// Features: contiguous arena clause allocation with 32-bit clause refs and
+// compacting garbage collection (clause_allocator.h), two-literal watching
+// with blockers, heap-based VSIDS with phase saving (vsids_picker.h /
+// min_heap.h), Luby restarts, first-UIP clause learning with cheap
+// self-subsumption minimization, LBD-scored learned-clause database
+// management (glue-clause protection, periodic reduction by LBD then
+// activity — Audemard & Simon's literal-block distance), optional
+// bounded-variable-elimination preprocessing with model reconstruction
+// (sat_preprocessor.h), incremental solving under unit assumptions with
+// final-conflict (unsat-core) extraction, and optional resolution proof
+// logging for Craig interpolation.
+//
+// Identity vs location: a clause's *location* is a ClauseRef (arena word
+// offset) that changes when the database is compacted; its *identity* is a
+// stable ClauseId assigned at allocation, which is what the public API
+// (addClause return values, clauseLits) and the resolution proof speak.
+// Garbage collection rebinds every internal ref (watch lists, reasons,
+// id->ref table) but never renumbers ids, so proof chains and the itp
+// replay are oblivious to relocation.
 //
 // Proof logging keeps every clause alive (no database reduction) and is
 // restricted to assumption-free solving; interpolation queries in this
-// library are always fresh, assumption-free solves.
+// library are always fresh, assumption-free solves. Preprocessing is
+// automatically gated OFF when proof logging is enabled: variable
+// elimination rewrites the clause database without emitting resolution
+// steps, which would break the unsat-core/interpolant replay. Interpolation
+// queries therefore always solve the unpreprocessed formula.
 //
 // Thread safety: a Solver instance is confined to one thread at a time
 // (no internal synchronization), but the class holds no static mutable
@@ -25,8 +43,11 @@
 #include <span>
 #include <vector>
 
+#include "sat/clause_allocator.h"
 #include "sat/proof.h"
+#include "sat/sat_preprocessor.h"
 #include "sat/types.h"
+#include "sat/vsids_picker.h"
 
 namespace eco::sat {
 
@@ -49,6 +70,24 @@ class Solver {
     return addClause(std::span<const SLit>(lits.begin(), lits.size()));
   }
 
+  // --- preprocessing -------------------------------------------------------
+
+  /// Enables the preprocessing pass (BCP to fixpoint, pure-literal and
+  /// bounded variable elimination with model reconstruction). It runs once,
+  /// lazily, at the first solve() call. Forced off (silently) when the
+  /// solver logs proofs — see the header comment. Variables that later
+  /// clauses or assumptions will mention, and variables whose model value
+  /// must be read back without reconstruction, should be frozen first.
+  void setPreprocessing(bool on) { preprocess_ = on && !log_proof_; }
+  bool preprocessingEnabled() const { return preprocess_; }
+
+  /// Protects a variable from elimination (use for assumption variables
+  /// and variables occurring in clauses added after the first solve).
+  void freezeVar(Var v);
+
+  bool isEliminated(Var v) const { return eliminated_[v]; }
+  const PreprocessStats& preprocessStats() const { return pre_stats_; }
+
   // --- solving -------------------------------------------------------------
 
   Status solve(std::span<const SLit> assumptions = {});
@@ -63,7 +102,8 @@ class Solver {
 
   // --- results --------------------------------------------------------------
 
-  /// Model value after a Sat answer.
+  /// Model value after a Sat answer. Defined for every variable, including
+  /// preprocessing-eliminated ones (reconstructed via the remapper).
   LBool modelValue(SLit l) const { return model_[l.var()] ^ l.sign(); }
   LBool modelValue(Var v) const { return model_[v]; }
 
@@ -75,11 +115,20 @@ class Solver {
   /// after an assumption-free Unsat answer).
   const Proof& proof() const { return proof_; }
 
-  /// Literals of a clause by id (for proof replay).
+  /// Literals of a clause by stable id (for proof replay). Valid for every
+  /// live clause; ids survive arena compaction.
   std::span<const SLit> clauseLits(ClauseId id) const {
-    const Clause& c = clauses_[id];
-    return std::span<const SLit>(lit_pool_.data() + c.begin, c.size);
+    ECO_CHECK(id < clause_refs_.size() && clause_refs_[id] != kNoRef);
+    return ca_.at(clause_refs_[id]).lits();
   }
+
+  // --- maintenance -----------------------------------------------------------
+
+  /// Compacts the clause arena, rebinding every watch/reason reference.
+  /// Stable ClauseIds (and therefore proofs) are unaffected. Runs
+  /// automatically when enough of the arena is dead; public so tests and
+  /// long-lived embedders can force a compaction point.
+  void garbageCollect();
 
   // --- statistics ------------------------------------------------------------
 
@@ -87,18 +136,17 @@ class Solver {
   std::uint64_t numDecisions() const { return stats_decisions_; }
   std::uint64_t numPropagations() const { return stats_propagations_; }
   std::uint64_t numRestarts() const { return stats_restarts_; }
+  std::uint64_t numDbReductions() const { return stats_db_reductions_; }
+  std::uint64_t numGcs() const { return stats_gcs_; }
+
+  /// VSIDS internals, exposed for the activity-overflow regression test.
+  const VsidsPicker& picker() const { return picker_; }
 
  private:
-  struct Clause {
-    std::uint32_t begin = 0;  ///< offset into lit_pool_
-    std::uint32_t size = 0;
-    float activity = 0;
-    bool learned = false;
-    bool deleted = false;
-  };
+  friend class Preprocessor;
 
   struct Watcher {
-    ClauseId clause;
+    ClauseRef ref;
     SLit blocker;
   };
 
@@ -108,62 +156,57 @@ class Solver {
   std::uint32_t decisionLevel() const {
     return static_cast<std::uint32_t>(trail_lim_.size());
   }
-  void enqueue(SLit l, ClauseId reason);
-  ClauseId propagate();
+  void enqueue(SLit l, ClauseRef reason);
+  ClauseRef propagate();
   void cancelUntil(std::uint32_t level);
 
   // clause management
-  ClauseId allocClause(std::span<const SLit> lits, bool learned);
-  void attachClause(ClauseId id);
-  void detachClause(ClauseId id);
-  void removeClause(ClauseId id);
+  ClauseRef allocClause(std::span<const SLit> lits, bool learned);
+  void attachClause(ClauseRef ref);
+  void detachClause(ClauseRef ref);
+  void removeClause(ClauseRef ref);
+  bool locked(ClauseRef ref) const;
   void reduceDb();
-  void bumpClause(ClauseId id);
+  void maybeGarbageCollect();
+  void bumpClause(ClauseRef ref);
+  std::uint32_t computeLbd(std::span<const SLit> lits);
 
   // conflict analysis
-  void analyze(ClauseId confl, std::vector<SLit>& learnt, std::uint32_t& bt_level,
+  void analyze(ClauseRef confl, std::vector<SLit>& learnt, std::uint32_t& bt_level,
                ProofChain& chain);
-  bool litRedundant(SLit l, std::vector<SLit>& scratch);
+  bool litRedundant(SLit l);
   void analyzeFinal(SLit p);
   /// Resolves away all remaining (root-level) literals of `confl`,
   /// producing the empty-clause chain.
-  void deriveRootConflict(ClauseId confl);
-
-  // decisions
-  void bumpVar(Var v);
-  void decayVarActivities();
-  Var pickBranchVar();
-  void heapInsert(Var v);
-  Var heapPop();
-  void heapDecrease(Var v);
-  void heapPercolateUp(std::uint32_t i);
-  void heapPercolateDown(std::uint32_t i);
-  bool heapContains(Var v) const { return heap_pos_[v] != kNotInHeap; }
+  void deriveRootConflict(ClauseRef confl);
 
   Status search();
 
   // data
-  std::vector<SLit> lit_pool_;
-  std::vector<Clause> clauses_;
+  ClauseAllocator ca_;
+  std::vector<ClauseRef> clause_refs_;  ///< stable ClauseId -> arena ref
   std::vector<std::vector<Watcher>> watches_;  ///< indexed by literal index
 
   std::vector<LBool> assigns_;
   std::vector<LBool> model_;
-  std::vector<bool> polarity_;  ///< saved phases (true = last value was false)
   std::vector<std::uint32_t> level_;
-  std::vector<ClauseId> reason_;
+  std::vector<ClauseRef> reason_;
   std::vector<std::uint32_t> trail_pos_;
   std::vector<SLit> trail_;
   std::vector<std::uint32_t> trail_lim_;
   std::uint32_t qhead_ = 0;
 
-  // VSIDS heap
-  std::vector<double> activity_;
-  std::vector<Var> heap_;
-  std::vector<std::uint32_t> heap_pos_;
-  static constexpr std::uint32_t kNotInHeap = 0xFFFFFFFFu;
-  double var_inc_ = 1.0;
+  // decisions
+  VsidsPicker picker_;
   double clause_inc_ = 1.0;
+
+  // preprocessing
+  bool preprocess_ = false;
+  bool preprocessed_ = false;
+  std::vector<bool> frozen_;
+  std::vector<bool> eliminated_;
+  SatRemapper remapper_;
+  PreprocessStats pre_stats_;
 
   // assumptions & core
   std::vector<SLit> assumptions_;
@@ -175,11 +218,13 @@ class Solver {
 
   // scratch for analyze
   std::vector<std::uint8_t> seen_;
-  std::vector<ProofChain::Step> level0_steps_;
+  std::vector<std::uint64_t> lbd_stamp_;  ///< per-level stamp for computeLbd
+  std::uint64_t lbd_stamp_gen_ = 0;
 
-  /// Conflict count at each clause's allocation; learned-clause lifetime
-  /// (deletion conflicts minus birth conflicts) feeds the
-  /// sat.learned_lifetime histogram when the clause is reduced away.
+  /// Conflict count at each clause's allocation (indexed by stable id);
+  /// learned-clause lifetime (deletion conflicts minus birth conflicts)
+  /// feeds the sat.learned_lifetime histogram when the clause is reduced
+  /// away.
   std::vector<std::uint64_t> clause_birth_;
 
   bool ok_ = true;
@@ -189,9 +234,12 @@ class Solver {
   std::uint64_t stats_decisions_ = 0;
   std::uint64_t stats_propagations_ = 0;
   std::uint64_t stats_restarts_ = 0;
-  std::uint64_t learned_since_reduce_ = 0;
-  std::uint32_t num_learned_ = 0;
-  std::uint32_t max_learned_ = 8192;
+  std::uint64_t stats_db_reductions_ = 0;
+  std::uint64_t stats_gcs_ = 0;
+  std::uint32_t num_learned_ = 0;  ///< live learned clauses (size > 1)
+  /// Learned-clause count that triggers the next database reduction; grows
+  /// by kReduceDbInc after every reduction (Glucose-style schedule).
+  std::uint32_t reduce_db_limit_ = 2000;
 };
 
 }  // namespace eco::sat

@@ -16,6 +16,8 @@ class SLit {
   constexpr static SLit make(Var v, bool sign) {
     return SLit((v << 1) | (sign ? 1u : 0u));
   }
+  /// Inverse of index(); used by serialized literal streams (remapper).
+  constexpr static SLit fromIndex(std::uint32_t idx) { return SLit(idx); }
   constexpr Var var() const { return x_ >> 1; }
   constexpr bool sign() const { return (x_ & 1u) != 0; }
   constexpr std::uint32_t index() const { return x_; }

@@ -1,0 +1,119 @@
+#pragma once
+// VSIDS decision picker with phase saving.
+//
+// Owns the per-variable activity scores, the exponential bump/decay
+// scheme, the saved-phase table, and the activity-ordered decision heap
+// (IndexedMinHeap instantiated so the hottest variable sits at the root).
+// The solver feeds it bump() during conflict analysis, decay() once per
+// conflict, insert() on backtracking, and asks pick() for the next
+// decision variable.
+//
+// Overflow safety: both the per-variable activities *and* the bump
+// increment are rescaled once they cross kRescaleLimit. The increment
+// check matters for long-lived incremental solvers — `inc_` grows by
+// 1/decay on every conflict regardless of bumps, so an instance that is
+// kept across thousands of solve() calls (FRAIG chunks, fuzz sweeps)
+// would otherwise drive it to infinity and wipe out the heuristic ordering
+// even though every individual activity stayed in range.
+
+#include <cstdint>
+#include <vector>
+
+#include "base/check.h"
+#include "sat/min_heap.h"
+#include "sat/types.h"
+
+namespace eco::sat {
+
+class VsidsPicker {
+ public:
+  VsidsPicker() : heap_(ActivityOrder{&activity_}) {}
+
+  // The heap's comparator points into activity_; a default copy would keep
+  // pointing at the donor's vector.
+  VsidsPicker(const VsidsPicker&) = delete;
+  VsidsPicker& operator=(const VsidsPicker&) = delete;
+
+  /// Registers the next variable (ids are dense, starting at 0) and makes
+  /// it available for decisions.
+  void addVar() {
+    const Var v = static_cast<Var>(activity_.size());
+    activity_.push_back(0.0);
+    polarity_.push_back(true);  // default phase: false (MiniSat convention)
+    decidable_.push_back(true);
+    heap_.insert(v);
+  }
+
+  std::size_t numVars() const { return activity_.size(); }
+
+  void bump(Var v) {
+    if ((activity_[v] += inc_) > kRescaleLimit) rescale();
+    heap_.update(v);
+  }
+
+  /// Per-conflict decay (activities effectively shrink by `decay`); guards
+  /// the increment itself against overflow.
+  void decay() {
+    inc_ /= kDecay;
+    if (inc_ > kRescaleLimit) rescale();
+  }
+
+  /// Returns the variable to the decision heap (on backtracking).
+  void insert(Var v) {
+    if (!heap_.contains(v) && decidable_[v]) heap_.insert(v);
+  }
+
+  /// Excludes a variable from decisions (preprocessing elimination).
+  void setDecidable(Var v, bool on) {
+    decidable_[v] = on;
+    if (on) insert(v);
+  }
+
+  void savePhase(Var v, bool sign) { polarity_[v] = sign; }
+  bool savedPhase(Var v) const { return polarity_[v]; }
+
+  /// Pops the most active variable for which `is_free(v)` holds; returns
+  /// kNoVar when the heap runs dry.
+  template <typename IsFree>
+  Var pick(IsFree&& is_free) {
+    while (!heap_.empty()) {
+      const Var v = heap_.pop();
+      if (decidable_[v] && is_free(v)) return v;
+    }
+    return kNoVar;
+  }
+
+  double activity(Var v) const { return activity_[v]; }
+  /// Current bump increment — exposed so the overflow-rescale regression
+  /// test can observe the guard.
+  double activityInc() const { return inc_; }
+
+  static constexpr Var kNoVar = 0xFFFFFFFFu;
+
+ private:
+  struct ActivityOrder {
+    const std::vector<double>* activity;
+    // Higher activity = earlier in the min-heap order, so the root of the
+    // min-heap is the hottest variable.
+    bool operator()(std::uint32_t a, std::uint32_t b) const {
+      return (*activity)[a] > (*activity)[b];
+    }
+  };
+
+  static constexpr double kDecay = 0.95;
+  static constexpr double kRescaleLimit = 1e100;
+
+  void rescale() {
+    for (double& a : activity_) a *= 1e-100;
+    inc_ *= 1e-100;
+    // Uniform scaling preserves the ordering; the heap stays valid.
+  }
+
+  std::vector<double> activity_;
+  std::vector<bool> polarity_;  ///< saved phases (true = last value was false)
+  std::vector<bool> decidable_;
+  IndexedMinHeap<ActivityOrder> heap_;
+  double inc_ = 1.0;
+};
+
+}  // namespace eco::sat

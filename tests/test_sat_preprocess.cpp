@@ -1,0 +1,318 @@
+// Property tests for the SAT core's clause-management machinery:
+//
+//  - a 500-instance seeded CNF sweep that must agree on SAT/UNSAT across
+//    preprocessing OFF / ON / ON-with-every-variable-frozen (the last is
+//    behaviorally the legacy configuration: BVE can touch nothing, only
+//    BCP-to-fixpoint and clause strengthening run), cross-checked against
+//    brute-force enumeration on the smaller instances, with every Sat
+//    model — including reconstructed eliminated variables — evaluated
+//    against the original clause list;
+//  - incremental use on a preprocessed solver (blocking clauses over frozen
+//    variables), mirroring the diagnosis loop;
+//  - proof logging under arena relocation: a checked UNSAT proof must stay
+//    checkable after garbageCollect() rebinds every clause ref, and
+//    clauseLits (stable-id access) must return identical literals;
+//  - the VSIDS activity-increment overflow guard (regression: the increment
+//    grows every conflict regardless of bumps and previously saturated to
+//    inf in long-lived incremental solvers).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "base/rng.h"
+#include "sat/proof_check.h"
+#include "sat/solver.h"
+#include "sat/vsids_picker.h"
+
+namespace eco::sat {
+namespace {
+
+SLit pos(Var v) { return SLit::make(v, false); }
+
+using Cnf = std::vector<std::vector<SLit>>;
+
+Cnf randomCnf(Rng& rng, std::uint32_t n_vars, std::uint32_t n_clauses) {
+  Cnf cnf;
+  for (std::uint32_t c = 0; c < n_clauses; ++c) {
+    const auto width = static_cast<std::uint32_t>(rng.range(1, 4));
+    std::vector<SLit> clause;
+    for (std::uint32_t k = 0; k < width; ++k) {
+      clause.push_back(SLit::make(static_cast<Var>(rng.below(n_vars)),
+                                  rng.chance(1, 2)));
+    }
+    cnf.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+bool bruteForceSat(const Cnf& cnf, std::uint32_t n_vars) {
+  for (std::uint64_t m = 0; m < (1ull << n_vars); ++m) {
+    bool all = true;
+    for (const auto& clause : cnf) {
+      bool sat = false;
+      for (const SLit l : clause) {
+        if (((m >> l.var()) & 1) != (l.sign() ? 1u : 0u)) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+bool modelSatisfies(const Solver& s, const Cnf& cnf) {
+  for (const auto& clause : cnf) {
+    bool sat = false;
+    for (const SLit l : clause) {
+      if (s.modelValue(l) == LBool::True) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat && !clause.empty()) return false;
+  }
+  return true;
+}
+
+enum class Config { Off, On, OnAllFrozen };
+
+Status solveCnf(const Cnf& cnf, std::uint32_t n_vars, Config cfg,
+                Solver& s) {
+  if (cfg != Config::Off) s.setPreprocessing(true);
+  for (std::uint32_t v = 0; v < n_vars; ++v) {
+    s.newVar();
+    if (cfg == Config::OnAllFrozen) s.freezeVar(v);
+  }
+  for (const auto& clause : cnf) s.addClause(clause);
+  return s.solve();
+}
+
+TEST(SatPreprocess, FiveHundredSeededCnfsAgreeAcrossConfigs) {
+  Rng rng(0xEC0'0001);
+  std::uint64_t total_eliminated = 0, total_resolvents = 0, total_pure = 0;
+  for (int instance = 0; instance < 500; ++instance) {
+    const auto n_vars = static_cast<std::uint32_t>(rng.range(3, 12));
+    const auto n_clauses =
+        static_cast<std::uint32_t>(rng.range(n_vars, 5 * n_vars));
+    const Cnf cnf = randomCnf(rng, n_vars, n_clauses);
+
+    Solver off, on, frozen;
+    const Status r_off = solveCnf(cnf, n_vars, Config::Off, off);
+    const Status r_on = solveCnf(cnf, n_vars, Config::On, on);
+    const Status r_frozen = solveCnf(cnf, n_vars, Config::OnAllFrozen, frozen);
+    ASSERT_NE(r_off, Status::Undef);
+    ASSERT_EQ(r_on, r_off) << "preprocessing changed the verdict, seed inst "
+                           << instance;
+    ASSERT_EQ(r_frozen, r_off)
+        << "frozen preprocessing changed the verdict, seed inst " << instance;
+    if (n_vars <= 9) {
+      ASSERT_EQ(r_off == Status::Sat, bruteForceSat(cnf, n_vars))
+          << "solver disagrees with brute force, seed inst " << instance;
+    }
+    if (r_off == Status::Sat) {
+      EXPECT_TRUE(modelSatisfies(off, cnf)) << "inst " << instance;
+      EXPECT_TRUE(modelSatisfies(on, cnf))
+          << "reconstructed model violates an original clause, inst "
+          << instance;
+      EXPECT_TRUE(modelSatisfies(frozen, cnf)) << "inst " << instance;
+    }
+    total_eliminated += on.preprocessStats().eliminated_vars;
+    total_resolvents += on.preprocessStats().added_resolvents;
+    total_pure += on.preprocessStats().pure_literals;
+    // The frozen config must never eliminate anything.
+    EXPECT_EQ(frozen.preprocessStats().eliminated_vars, 0u);
+  }
+  // The sweep must actually exercise the elimination machinery.
+  EXPECT_GT(total_eliminated, 0u);
+  EXPECT_GT(total_resolvents, 0u);
+  EXPECT_GT(total_pure, 0u);
+}
+
+TEST(SatPreprocess, IncrementalBlockingClausesOverFrozenVars) {
+  // The diagnosis pattern: enumerate models, blocking each over the frozen
+  // X variables; verify the model count matches an unpreprocessed solver.
+  Rng rng(0xEC0'0002);
+  for (int instance = 0; instance < 50; ++instance) {
+    const auto n_vars = static_cast<std::uint32_t>(rng.range(3, 8));
+    const Cnf cnf =
+        randomCnf(rng, n_vars, static_cast<std::uint32_t>(rng.range(2, 3 * n_vars)));
+    Solver pre, plain;
+    pre.setPreprocessing(true);
+    for (std::uint32_t v = 0; v < n_vars; ++v) {
+      pre.newVar();
+      pre.freezeVar(v);
+      plain.newVar();
+    }
+    for (const auto& clause : cnf) {
+      pre.addClause(clause);
+      plain.addClause(clause);
+    }
+    for (int round = 0; round < 200; ++round) {
+      const Status rp = pre.solve();
+      const Status rq = plain.solve();
+      ASSERT_EQ(rp, rq) << "inst " << instance << " round " << round;
+      if (rp != Status::Sat) break;
+      // Block this model (projection onto all variables) in both solvers.
+      std::vector<SLit> block_pre, block_plain;
+      for (std::uint32_t v = 0; v < n_vars; ++v) {
+        block_pre.push_back(pre.modelValue(v) == LBool::True ? ~pos(v) : pos(v));
+        block_plain.push_back(plain.modelValue(v) == LBool::True ? ~pos(v)
+                                                                 : pos(v));
+      }
+      // Both models satisfy the same CNF; block each solver's own model.
+      pre.addClause(block_pre);
+      plain.addClause(block_plain);
+    }
+  }
+}
+
+TEST(SatPreprocess, AssumptionsOverFrozenVarsMatchPlainSolver) {
+  Rng rng(0xEC0'0003);
+  for (int instance = 0; instance < 50; ++instance) {
+    const auto n_vars = static_cast<std::uint32_t>(rng.range(4, 10));
+    const Cnf cnf =
+        randomCnf(rng, n_vars, static_cast<std::uint32_t>(rng.range(4, 4 * n_vars)));
+    Solver pre, plain;
+    pre.setPreprocessing(true);
+    // Freeze the first two variables and use them as assumptions.
+    for (std::uint32_t v = 0; v < n_vars; ++v) {
+      pre.newVar();
+      plain.newVar();
+      if (v < 2) pre.freezeVar(v);
+    }
+    for (const auto& clause : cnf) {
+      pre.addClause(clause);
+      plain.addClause(clause);
+    }
+    for (int mask = 0; mask < 4; ++mask) {
+      const std::vector<SLit> assume{SLit::make(0, (mask & 1) != 0),
+                                     SLit::make(1, (mask & 2) != 0)};
+      ASSERT_EQ(pre.solve(assume), plain.solve(assume))
+          << "inst " << instance << " mask " << mask;
+    }
+  }
+}
+
+TEST(SatPreprocess, GatedOffUnderProofLogging) {
+  Solver s(/*log_proof=*/true);
+  s.setPreprocessing(true);
+  EXPECT_FALSE(s.preprocessingEnabled());
+  const Var a = s.newVar();
+  s.addClause({pos(a)});
+  s.addClause({~pos(a)});
+  ASSERT_EQ(s.solve(), Status::Unsat);
+  EXPECT_TRUE(checkProof(s));
+  EXPECT_EQ(s.preprocessStats().eliminated_vars, 0u);
+}
+
+TEST(SatArena, ProofSurvivesExplicitGarbageCollection) {
+  // Find seeded UNSAT instances, certify their proofs, force a full arena
+  // relocation, and certify again: stable ids must still resolve to the
+  // same literals and the replay must still derive the empty clause.
+  Rng rng(0xEC0'0004);
+  int unsat_seen = 0;
+  for (int instance = 0; instance < 200 && unsat_seen < 25; ++instance) {
+    const auto n_vars = static_cast<std::uint32_t>(rng.range(4, 10));
+    const Cnf cnf = randomCnf(
+        rng, n_vars, static_cast<std::uint32_t>(rng.range(4 * n_vars, 6 * n_vars)));
+    Solver s(/*log_proof=*/true);
+    for (std::uint32_t v = 0; v < n_vars; ++v) s.newVar();
+    for (const auto& clause : cnf) s.addClause(clause);
+    if (s.solve() != Status::Unsat) continue;
+    ++unsat_seen;
+    ASSERT_TRUE(checkProof(s)) << checkProof(s).error;
+
+    // Snapshot literals by stable id, relocate, compare, re-certify.
+    const auto n_clauses = static_cast<ClauseId>(s.proof().chains.size());
+    std::vector<std::vector<SLit>> before(n_clauses);
+    for (ClauseId id = 0; id < n_clauses; ++id) {
+      const auto lits = s.clauseLits(id);
+      before[id].assign(lits.begin(), lits.end());
+    }
+    s.garbageCollect();
+    for (ClauseId id = 0; id < n_clauses; ++id) {
+      const auto lits = s.clauseLits(id);
+      ASSERT_EQ(before[id], std::vector<SLit>(lits.begin(), lits.end()))
+          << "clause " << id << " changed across relocation";
+    }
+    const ProofCheckResult res = checkProof(s);
+    ASSERT_TRUE(res) << res.error;
+    EXPECT_GE(s.numGcs(), 1u);
+  }
+  ASSERT_EQ(unsat_seen, 25) << "sweep generated too few UNSAT instances";
+}
+
+TEST(SatArena, SolvingContinuesAcrossGarbageCollection) {
+  // Interleave solving, clause addition, and forced compaction on one
+  // incremental solver; verdicts must match a fresh solver per step.
+  Rng rng(0xEC0'0005);
+  const std::uint32_t n_vars = 12;
+  Solver inc;
+  for (std::uint32_t v = 0; v < n_vars; ++v) inc.newVar();
+  Cnf so_far;
+  for (int step = 0; step < 60; ++step) {
+    const Cnf batch = randomCnf(rng, n_vars, 6);
+    for (const auto& clause : batch) {
+      inc.addClause(clause);
+      so_far.push_back(clause);
+    }
+    inc.garbageCollect();
+    const Status ri = inc.solve();
+    Solver fresh;
+    for (std::uint32_t v = 0; v < n_vars; ++v) fresh.newVar();
+    for (const auto& clause : so_far) fresh.addClause(clause);
+    ASSERT_EQ(ri, fresh.solve()) << "step " << step;
+    if (ri == Status::Unsat) break;
+    ASSERT_TRUE(modelSatisfies(inc, so_far)) << "step " << step;
+  }
+}
+
+TEST(VsidsPicker, ActivityIncrementRescalesInsteadOfOverflowing) {
+  // Regression: inc_ /= 0.95 every conflict crosses 1e100 after ~4.5k
+  // conflicts with no intervening bump; without the decay-side guard it
+  // reaches inf and every later bump saturates all activities to inf,
+  // erasing the ordering. Emulate a long incremental run.
+  VsidsPicker picker;
+  for (int v = 0; v < 4; ++v) picker.addVar();
+  for (int conflict = 0; conflict < 20000; ++conflict) {
+    picker.decay();
+    ASSERT_TRUE(std::isfinite(picker.activityInc())) << "at " << conflict;
+  }
+  // Ordering must still be expressible: bump var 2 twice, var 1 once.
+  picker.bump(2);
+  picker.bump(2);
+  picker.bump(1);
+  ASSERT_TRUE(std::isfinite(picker.activity(2)));
+  EXPECT_GT(picker.activity(2), picker.activity(1));
+  EXPECT_GT(picker.activity(1), picker.activity(0));
+  EXPECT_EQ(picker.pick([](Var) { return true; }), 2u);
+  EXPECT_EQ(picker.pick([](Var) { return true; }), 1u);
+}
+
+TEST(VsidsPicker, SolverSurvivesManyIncrementalSolves) {
+  // End-to-end version of the overflow regression: thousands of conflicts
+  // on one solver instance must leave the picker's increment finite.
+  Rng rng(0xEC0'0006);
+  Solver s;
+  const std::uint32_t n_vars = 30;
+  for (std::uint32_t v = 0; v < n_vars; ++v) s.newVar();
+  std::uint64_t conflicts = 0;
+  for (int round = 0; round < 400 && conflicts < 20000; ++round) {
+    const Cnf batch = randomCnf(rng, n_vars, 10);
+    for (const auto& clause : batch) s.addClause(clause);
+    if (s.solve() == Status::Unsat) break;
+    conflicts = s.numConflicts();
+  }
+  EXPECT_TRUE(std::isfinite(s.picker().activityInc()));
+}
+
+}  // namespace
+}  // namespace eco::sat

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over bench_table2 output.
+
+Compares the engine wall-time geometric mean of a fresh BENCH_table2.json
+run against the checked-in baseline (bench/baselines/bench_table2_baseline.json)
+and fails when the current geomean regresses by more than the threshold.
+
+Only units present in BOTH files enter the comparison, and each unit must
+have succeeded in both — a unit that fails outright is reported as an error
+regardless of timing. Per-unit times on shared CI runners are noisy; the
+geomean over the pinned subset (plus the generous default threshold) is the
+tradeoff between sensitivity and flakiness. Correctness is never gated here:
+ctest does that; this gate only watches wall time.
+
+Usage:
+  tools/bench_gate.py --current BENCH_table2.json \
+      --baseline bench/baselines/bench_table2_baseline.json \
+      [--threshold-pct 15]
+
+Re-baselining (after an accepted perf change): run the bench job, download
+the BENCH_table2.json artifact from CI (or run the same pinned subset
+locally on a quiet machine), copy it to the baseline path, and commit it in
+the same PR — with `[bench-rebaseline]` in the commit message or the
+`bench-rebaseline` label on the PR to skip the gate for that run.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def unit_times(doc):
+    """Returns {unit_name: engine_seconds} for successful units."""
+    times = {}
+    failed = []
+    for unit in doc.get("units", []):
+        name = unit.get("name", "?")
+        ours = unit.get("ours", {})
+        result = ours.get("result", {})
+        if not result.get("success", False):
+            failed.append(name)
+            continue
+        seconds = result.get("seconds")
+        if isinstance(seconds, (int, float)) and seconds >= 0:
+            times[name] = float(seconds)
+    return times, failed
+
+
+def geomean(values, floor_s=1e-4):
+    # Clamp tiny times to a floor: a unit finishing in microseconds would
+    # otherwise dominate the geomean through timer noise.
+    return math.exp(sum(math.log(max(v, floor_s)) for v in values) / len(values))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--threshold-pct", type=float, default=15.0)
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    cur_times, cur_failed = unit_times(current)
+    base_times, _ = unit_times(baseline)
+    if cur_failed:
+        print(f"FAIL: units failed in the current run: {', '.join(cur_failed)}")
+        return 1
+
+    shared = sorted(set(cur_times) & set(base_times))
+    if not shared:
+        print("FAIL: no shared successful units between current and baseline")
+        return 1
+    missing = sorted(set(base_times) - set(cur_times))
+    if missing:
+        print(f"WARNING: baseline units missing from current run: {', '.join(missing)}")
+
+    cur_gm = geomean([cur_times[u] for u in shared])
+    base_gm = geomean([base_times[u] for u in shared])
+    ratio = cur_gm / base_gm
+    print(f"units compared: {len(shared)} ({', '.join(shared)})")
+    for u in shared:
+        print(f"  {u}: baseline {base_times[u]:.4f}s -> current {cur_times[u]:.4f}s "
+              f"({cur_times[u] / max(base_times[u], 1e-9):.2f}x)")
+    print(f"geomean: baseline {base_gm:.4f}s -> current {cur_gm:.4f}s "
+          f"({ratio:.3f}x, threshold {1 + args.threshold_pct / 100:.3f}x)")
+
+    if ratio > 1 + args.threshold_pct / 100:
+        print(f"FAIL: engine wall-time geomean regressed by "
+              f"{(ratio - 1) * 100:.1f}% (> {args.threshold_pct:.0f}%)")
+        print("If this regression is intended, re-baseline: see the module "
+              "docstring or DESIGN.md 'SAT core'.")
+        return 1
+    print("OK: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
