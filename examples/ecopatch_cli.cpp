@@ -13,6 +13,12 @@
 //   --seed N               RNG seed
 //   --threads N            worker threads (0 = hardware concurrency,
 //                          1 = sequential; default 0)
+//   --check[=LEVEL]        run the invariant-audit layer: bare --check
+//                          audits at stage boundaries; LEVEL is
+//                          off|stage|paranoid (paranoid adds per-GC solver
+//                          audits). Default: the ECO_CHECK environment
+//                          variable. An audit failure prints the
+//                          machine-readable report on stderr
 //   --json FILE            write a machine-readable run report (see
 //                          eco/report_json.h for the schema)
 //   --trace FILE           record a Chrome trace_event JSON of the run,
@@ -21,6 +27,7 @@
 //
 // Exit codes: 0 patched+verified, 1 usage/parse error, 2 unrectifiable.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,8 +60,8 @@ std::string readFile(const std::string& path) {
                "usage: ecopatch_cli -f faulty.v -g golden.v -w weights.txt "
                "[-o patch.v] [--no-localization] [--no-cost-opt] "
                "[--no-minimize] [--itp-first] [--pi-only] [--watch N] "
-               "[--rounds N] [--seed N] [--threads N] [--json FILE] "
-               "[--trace FILE] [--quiet]\n");
+               "[--rounds N] [--seed N] [--threads N] [--check[=LEVEL]] "
+               "[--json FILE] [--trace FILE] [--quiet]\n");
   std::exit(1);
 }
 
@@ -63,6 +70,17 @@ bool writeTextFile(const std::string& path, const std::string& content) {
   if (!out) return false;
   out << content;
   return static_cast<bool>(out);
+}
+
+// atoi/atoll silently return 0 on garbage; reject non-numeric input instead.
+std::uint64_t parseU64(const char* s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "ecopatch: expected a number, got '%s'\n", s);
+    usage();
+  }
+  return v;
 }
 
 }  // namespace
@@ -99,13 +117,23 @@ int main(int argc, char** argv) {
     } else if (a == "--pi-only") {
       opt.pi_candidates_only = true;
     } else if (a == "--watch") {
-      opt.watch_size = static_cast<std::uint32_t>(std::atoi(next()));
+      opt.watch_size = static_cast<std::uint32_t>(parseU64(next()));
     } else if (a == "--rounds") {
-      opt.opt_rounds = static_cast<std::uint32_t>(std::atoi(next()));
+      opt.opt_rounds = static_cast<std::uint32_t>(parseU64(next()));
     } else if (a == "--seed") {
-      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+      opt.seed = parseU64(next());
     } else if (a == "--threads") {
-      opt.num_threads = static_cast<std::uint32_t>(std::atoi(next()));
+      opt.num_threads = static_cast<std::uint32_t>(parseU64(next()));
+    } else if (a == "--check") {
+      opt.check_level = check::Level::kStage;
+    } else if (a.rfind("--check=", 0) == 0) {
+      const auto level = check::parseLevel(a.substr(8));
+      if (!level) {
+        std::fprintf(stderr, "ecopatch: bad --check level '%s'\n",
+                     a.substr(8).c_str());
+        usage();
+      }
+      opt.check_level = *level;
     } else if (a == "--json") {
       json_path = next();
     } else if (a == "--trace") {
@@ -146,6 +174,9 @@ int main(int argc, char** argv) {
   }
   if (!r.success) {
     std::fprintf(stderr, "ecopatch: %s\n", r.message.c_str());
+    if (!r.audit_json.empty()) {
+      std::fprintf(stderr, "%s\n", r.audit_json.c_str());
+    }
     return 2;
   }
   if (!quiet) std::printf("%s", formatRunReport(inst, r).c_str());

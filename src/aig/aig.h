@@ -142,6 +142,10 @@ class Aig {
   std::vector<bool> evaluate(const std::vector<bool>& inputs) const;
 
  private:
+  // Invariant-audit backdoor (src/check/aig_audit.h): const views for the
+  // structural linter, mutable ones for its negative corruption tests.
+  friend struct AigAudit;
+
   static std::uint64_t strashKey(Lit a, Lit b) {
     return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
   }

@@ -199,8 +199,9 @@ Aig makeRandomAig(std::uint32_t pis, std::uint32_t ands, std::uint32_t pos,
     // Bias toward recent nodes so depth grows.
     const auto pick = [&]() -> Lit {
       const std::uint64_t n = pool.size();
-      const std::uint64_t idx = rng.chance(1, 2) ? n - 1 - rng.below(std::min<std::uint64_t>(n, 16))
-                                                 : rng.below(n);
+      const std::uint64_t idx =
+          rng.chance(1, 2) ? n - 1 - rng.below(std::min<std::uint64_t>(n, 16))
+                           : rng.below(n);
       return pool[idx] ^ rng.chance(1, 2);
     };
     const Lit v = aig.addAnd(pick(), pick());

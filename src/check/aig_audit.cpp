@@ -1,0 +1,228 @@
+#include "check/aig_audit.h"
+
+#include <algorithm>
+
+#include "aig/aig_ops.h"
+
+namespace eco::check {
+namespace {
+
+std::string litStr(Lit l) {
+  if (!l.valid()) return "<invalid>";
+  return (l.complemented() ? "!" : "") + std::to_string(l.var());
+}
+
+}  // namespace
+
+AuditReport auditAig(const Aig& aig, std::string subject) {
+  AuditReport report;
+  report.subject = std::move(subject);
+  const auto fail = [&](const char* rule, std::string detail) {
+    report.add("aig", rule, std::move(detail));
+  };
+  const auto check = [&](bool ok, const char* rule, auto detail) {
+    ++report.checks_run;
+    if (!ok) fail(rule, detail());
+  };
+
+  const std::vector<Aig::Node>& nodes = AigAudit::nodes(aig);
+  const std::uint32_t n = static_cast<std::uint32_t>(nodes.size());
+  if (n == 0) {
+    fail("const-node", "graph has no constant node");
+    return report;
+  }
+  check(!nodes[0].fanin0.valid(), "const-node",
+        [&] { return std::string("constant node 0 has a valid fanin0"); });
+
+  // Per-node structure: PIs vs ANDs, topological order, dangling fanins,
+  // canonical fanin order, constant folding (no constant fanins).
+  std::uint32_t pi_nodes = 0;
+  std::uint32_t and_nodes = 0;
+  for (std::uint32_t v = 1; v < n; ++v) {
+    const Aig::Node& node = nodes[v];
+    if (!node.fanin0.valid()) {
+      ++pi_nodes;
+      continue;  // PI ordinal is validated against pis_ below
+    }
+    ++and_nodes;
+    const Lit f0 = node.fanin0;
+    const Lit f1 = node.fanin1;
+    check(f1.valid(), "dangling-fanin",
+          [&] { return "AND " + std::to_string(v) + " has invalid fanin1"; });
+    if (!f1.valid()) continue;
+    check(f0.var() < n && f1.var() < n, "dangling-fanin", [&] {
+      return "AND " + std::to_string(v) + " fanins (" + litStr(f0) + ", " +
+             litStr(f1) + ") exceed node count " + std::to_string(n);
+    });
+    if (f0.var() >= n || f1.var() >= n) continue;
+    check(f0.var() < v && f1.var() < v, "topo-order", [&] {
+      return "AND " + std::to_string(v) + " fanins (" + litStr(f0) + ", " +
+             litStr(f1) + ") do not strictly precede it (cycle risk)";
+    });
+    check(f0.var() != 0 && f1.var() != 0, "const-fanin", [&] {
+      return "AND " + std::to_string(v) +
+             " reads the constant node; addAnd folds constants";
+    });
+    check(f0.value() < f1.value(), "fanin-order", [&] {
+      return "AND " + std::to_string(v) + " fanins (" + litStr(f0) + ", " +
+             litStr(f1) + ") are not in canonical (strictly increasing) order";
+    });
+  }
+
+  // Strash consistency: the table and the AND nodes are mutual inverses.
+  const auto& strash = AigAudit::strash(aig);
+  check(strash.size() == and_nodes, "strash-size", [&] {
+    return "strash has " + std::to_string(strash.size()) + " entries for " +
+           std::to_string(and_nodes) + " AND nodes";
+  });
+  for (std::uint32_t v = 1; v < n; ++v) {
+    const Aig::Node& node = nodes[v];
+    if (!node.fanin0.valid() || !node.fanin1.valid()) continue;
+    if (node.fanin0.var() >= n || node.fanin1.var() >= n) continue;
+    const std::uint64_t key = AigAudit::strashKey(node.fanin0, node.fanin1);
+    const auto it = strash.find(key);
+    check(it != strash.end(), "strash-missing", [&] {
+      return "AND " + std::to_string(v) + " (" + litStr(node.fanin0) + ", " +
+             litStr(node.fanin1) + ") is absent from the strash table";
+    });
+    if (it != strash.end()) {
+      check(it->second == v, "strash-map", [&] {
+        return "strash entry for AND " + std::to_string(v) +
+               " maps to node " + std::to_string(it->second) +
+               " (duplicate structure or corrupted entry)";
+      });
+    }
+  }
+  for (const auto& [key, v] : strash) {
+    check(v < n && v != 0 && nodes[v].fanin0.valid(), "strash-orphan", [&] {
+      return "strash entry maps to " + std::to_string(v) +
+             ", which is not an AND node";
+    });
+    if (v < n && v != 0 && nodes[v].fanin0.valid() &&
+        nodes[v].fanin1.valid()) {
+      check(AigAudit::strashKey(nodes[v].fanin0, nodes[v].fanin1) == key,
+            "strash-key", [&] {
+              return "strash entry for AND " + std::to_string(v) +
+                     " stores a key that does not match its fanins";
+            });
+    }
+  }
+
+  // PI table: round-trip ordinal mapping, no AND masquerading as a PI.
+  const auto& pis = AigAudit::pis(aig);
+  check(pis.size() == pi_nodes, "pi-count", [&] {
+    return "pi table has " + std::to_string(pis.size()) + " entries but " +
+           std::to_string(pi_nodes) + " nodes are PI-shaped";
+  });
+  for (std::uint32_t i = 0; i < pis.size(); ++i) {
+    const std::uint32_t v = pis[i];
+    check(v != 0 && v < n, "pi-var", [&] {
+      return "PI " + std::to_string(i) + " maps to out-of-range variable " +
+             std::to_string(v);
+    });
+    if (v == 0 || v >= n) continue;
+    check(!nodes[v].fanin0.valid(), "pi-shape", [&] {
+      return "PI " + std::to_string(i) + " variable " + std::to_string(v) +
+             " is an AND node";
+    });
+    if (nodes[v].fanin0.valid()) continue;
+    check(nodes[v].fanin1.valid() && nodes[v].fanin1.value() == i, "pi-index",
+          [&] {
+            return "PI variable " + std::to_string(v) + " stores ordinal " +
+                   (nodes[v].fanin1.valid()
+                        ? std::to_string(nodes[v].fanin1.value())
+                        : std::string("<invalid>")) +
+                   ", expected " + std::to_string(i);
+          });
+  }
+
+  // PO table: every driver is a valid literal of the graph.
+  const auto& pos = AigAudit::pos(aig);
+  for (std::uint32_t i = 0; i < pos.size(); ++i) {
+    check(pos[i].valid() && pos[i].var() < n, "po-driver", [&] {
+      return "PO " + std::to_string(i) + " driver " + litStr(pos[i]) +
+             " is not a literal of the graph";
+    });
+  }
+
+  // Named-signal coherence: the vector and the lookup index agree.
+  const auto& named = AigAudit::namedSignals(aig);
+  const auto& name_index = AigAudit::nameIndex(aig);
+  check(named.size() == name_index.size(), "name-count", [&] {
+    return "named_signals has " + std::to_string(named.size()) +
+           " entries, name index " + std::to_string(name_index.size());
+  });
+  for (const auto& [name, lit] : named) {
+    check(lit.valid() && lit.var() < n, "name-lit", [&] {
+      return "named signal '" + name + "' maps to invalid literal " +
+             litStr(lit);
+    });
+    const auto it = name_index.find(name);
+    check(it != name_index.end() && it->second == lit, "name-index", [&] {
+      return "name index disagrees with named_signals for '" + name + "'";
+    });
+  }
+
+  // Stop before the derived-helper cross-checks if the graph is already
+  // structurally broken — levels()/fanoutCounts() assume a sane topology.
+  if (!report.ok()) return report;
+
+  // Level coherence: aig_ops::levels() against a direct recomputation.
+  const std::vector<std::uint32_t> lv = levels(aig);
+  check(lv.size() == n, "level-size", [&] {
+    return "levels() returned " + std::to_string(lv.size()) + " entries for " +
+           std::to_string(n) + " nodes";
+  });
+  if (lv.size() == n) {
+    for (std::uint32_t v = 1; v < n; ++v) {
+      if (!nodes[v].fanin0.valid()) {
+        check(lv[v] == 0, "level-cache", [&] {
+          return "PI variable " + std::to_string(v) + " has level " +
+                 std::to_string(lv[v]);
+        });
+        continue;
+      }
+      const std::uint32_t want =
+          1 + std::max(lv[nodes[v].fanin0.var()], lv[nodes[v].fanin1.var()]);
+      check(lv[v] == want, "level-cache", [&] {
+        return "AND " + std::to_string(v) + " has level " +
+               std::to_string(lv[v]) + ", expected " + std::to_string(want);
+      });
+    }
+  }
+
+  // Fanout/reference-count coherence: aig_ops::fanoutCounts() against a
+  // direct recount, plus the global conservation law.
+  const std::vector<std::uint32_t> fo = fanoutCounts(aig);
+  check(fo.size() == n, "fanout-size", [&] {
+    return "fanoutCounts() returned " + std::to_string(fo.size()) +
+           " entries for " + std::to_string(n) + " nodes";
+  });
+  if (fo.size() == n) {
+    std::vector<std::uint32_t> want(n, 0);
+    for (std::uint32_t v = 1; v < n; ++v) {
+      if (!nodes[v].fanin0.valid()) continue;
+      ++want[nodes[v].fanin0.var()];
+      ++want[nodes[v].fanin1.var()];
+    }
+    for (const Lit po : pos) ++want[po.var()];
+    std::uint64_t total = 0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      total += fo[v];
+      check(fo[v] == want[v], "fanout-count", [&] {
+        return "variable " + std::to_string(v) + " has fanout count " +
+               std::to_string(fo[v]) + ", recounted " + std::to_string(want[v]);
+      });
+    }
+    check(total == std::uint64_t{2} * and_nodes + pos.size(), "fanout-sum",
+          [&] {
+            return "fanout counts sum to " + std::to_string(total) +
+                   ", expected 2*ands + pos = " +
+                   std::to_string(2 * and_nodes + pos.size());
+          });
+  }
+
+  return report;
+}
+
+}  // namespace eco::check

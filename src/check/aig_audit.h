@@ -1,0 +1,64 @@
+#pragma once
+// AIG structural linter.
+//
+// auditAig is a read-only pass over every internal table of an Aig:
+//   - topological order / acyclicity (AND fanins strictly precede the node)
+//   - no dangling or constant fanins, canonical fanin order
+//   - strash-table consistency: every AND hashes to itself, no duplicate or
+//     orphaned strash entries, entry count matches the AND count
+//   - PI/PO/constant well-formedness (PI ordinal round-trip, valid drivers)
+//   - named-signal index coherence (name_index_ agrees with named_signals_)
+//   - level and fanout-count coherence: aig_ops::levels()/fanoutCounts()
+//     agree with an independent recomputation (these feed clustering and
+//     localization decisions, so a divergence is a real engine hazard)
+//
+// AigAudit is the access backdoor: a friend of Aig granting the auditor
+// const views of the private tables and the negative corruption tests
+// (tests/test_check.cpp) mutable ones. Production code must not touch it.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.h"
+#include "check/check.h"
+
+namespace eco {
+
+struct AigAudit {
+  static const std::vector<Aig::Node>& nodes(const Aig& a) { return a.nodes_; }
+  static const std::vector<std::uint32_t>& pis(const Aig& a) { return a.pis_; }
+  static const std::vector<Lit>& pos(const Aig& a) { return a.pos_; }
+  static const std::unordered_map<std::uint64_t, std::uint32_t>& strash(
+      const Aig& a) {
+    return a.strash_;
+  }
+  static const std::vector<std::pair<std::string, Lit>>& namedSignals(
+      const Aig& a) {
+    return a.named_signals_;
+  }
+  static const std::unordered_map<std::string, Lit>& nameIndex(const Aig& a) {
+    return a.name_index_;
+  }
+  static std::uint64_t strashKey(Lit f0, Lit f1) { return Aig::strashKey(f0, f1); }
+
+  // Mutable access — corruption hooks for the auditor's negative tests only.
+  static std::vector<Aig::Node>& nodesMut(Aig& a) { return a.nodes_; }
+  static std::vector<std::uint32_t>& pisMut(Aig& a) { return a.pis_; }
+  static std::vector<Lit>& posMut(Aig& a) { return a.pos_; }
+  static std::unordered_map<std::uint64_t, std::uint32_t>& strashMut(Aig& a) {
+    return a.strash_;
+  }
+  static std::unordered_map<std::string, Lit>& nameIndexMut(Aig& a) {
+    return a.name_index_;
+  }
+};
+
+}  // namespace eco
+
+namespace eco::check {
+
+/// Runs the full structural lint; `subject` labels the report.
+AuditReport auditAig(const Aig& aig, std::string subject = "aig");
+
+}  // namespace eco::check

@@ -1,0 +1,127 @@
+#include "check/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "base/check.h"
+#include "check/sat_audit.h"
+#include "obs/json.h"
+#include "sat/solver.h"
+
+namespace eco::check {
+
+const char* levelName(Level level) {
+  switch (level) {
+    case Level::kOff: return "off";
+    case Level::kStage: return "stage";
+    case Level::kParanoid: return "paranoid";
+  }
+  return "?";
+}
+
+std::optional<Level> parseLevel(std::string_view text) {
+  if (text == "off" || text == "0" || text == "none") return Level::kOff;
+  if (text == "stage" || text == "1" || text == "on") return Level::kStage;
+  if (text == "paranoid" || text == "2") return Level::kParanoid;
+  return std::nullopt;
+}
+
+Level levelFromEnv() {
+  static const Level level = [] {
+    const char* env = std::getenv("ECO_CHECK");
+    if (env == nullptr || env[0] == '\0') return Level::kOff;
+    if (const auto parsed = parseLevel(env)) return *parsed;
+    std::fprintf(stderr,
+                 "eco: ignoring unrecognized ECO_CHECK value '%s' "
+                 "(expected off|stage|paranoid)\n",
+                 env);
+    return Level::kOff;
+  }();
+  return level;
+}
+
+void AuditReport::add(std::string auditor, std::string rule, std::string detail) {
+  violations.push_back(
+      Violation{std::move(auditor), std::move(rule), std::move(detail)});
+}
+
+void AuditReport::merge(const AuditReport& other) {
+  violations.insert(violations.end(), other.violations.begin(),
+                    other.violations.end());
+  checks_run += other.checks_run;
+}
+
+bool AuditReport::hasRule(std::string_view rule) const {
+  for (const Violation& v : violations) {
+    if (v.rule == rule) return true;
+  }
+  return false;
+}
+
+std::string AuditReport::summary(std::size_t max_items) const {
+  std::string out = "audit[" + subject + "]: ";
+  if (ok()) {
+    out += "ok (" + std::to_string(checks_run) + " checks)";
+    return out;
+  }
+  out += std::to_string(violations.size()) + " violation(s): ";
+  for (std::size_t i = 0; i < violations.size() && i < max_items; ++i) {
+    if (i != 0) out += "; ";
+    out += violations[i].auditor + "/" + violations[i].rule + ": " +
+           violations[i].detail;
+  }
+  if (violations.size() > max_items) {
+    out += "; +" + std::to_string(violations.size() - max_items) + " more";
+  }
+  return out;
+}
+
+std::string AuditReport::toJson() const {
+  obs::JsonWriter w;
+  w.beginObject();
+  w.key("schema").value("ecopatch-audit-report");
+  w.key("version").value(std::uint64_t{1});
+  w.key("subject").value(subject);
+  w.key("ok").value(ok());
+  w.key("checks_run").value(checks_run);
+  w.key("violations").beginArray();
+  for (const Violation& v : violations) {
+    w.beginObject();
+    w.key("auditor").value(v.auditor);
+    w.key("rule").value(v.rule);
+    w.key("detail").value(v.detail);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  return w.take();
+}
+
+namespace {
+
+std::atomic<Level> g_level{Level::kOff};
+
+void solverAuditHook(const sat::Solver& solver, const char* site) {
+  if (g_level.load(std::memory_order_acquire) < Level::kParanoid) return;
+  const AuditReport report =
+      auditSolver(solver, std::string("solver@") + site);
+  if (!report.ok()) raise(report);
+}
+
+}  // namespace
+
+void setGlobalLevel(Level level) {
+  g_level.store(level, std::memory_order_release);
+  sat::setSolverAuditHook(level >= Level::kParanoid ? &solverAuditHook
+                                                    : nullptr);
+}
+
+Level globalLevel() { return g_level.load(std::memory_order_acquire); }
+
+void raise(const AuditReport& report) {
+  throw CheckError(report.summary() + "\n" + report.toJson());
+}
+
+}  // namespace eco::check

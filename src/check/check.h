@@ -1,0 +1,87 @@
+#pragma once
+// Invariant-audit layer: leveled, read-only consistency passes over the
+// library's long-lived mutable state (DESIGN.md "Static analysis &
+// invariant audit").
+//
+// Three auditors live under src/check — the AIG structural linter
+// (aig_audit.h), the SAT solver state auditor (sat_audit.h), and the
+// patch/engine contract checker (patch_audit.h). Each is a pure read-only
+// pass returning an AuditReport: a structured list of violations with a
+// machine-readable JSON rendering (reusing obs::JsonWriter), so the QA
+// harness, the fuzzer, and CI can consume audit failures the same way they
+// consume run reports.
+//
+// Audits are gated by a Level:
+//   kOff      — no audits (production default; a branch per stage boundary)
+//   kStage    — audits at engine stage boundaries (setup, FRAIG, patchgen,
+//               optimization, final contract)
+//   kParanoid — kStage plus a solver self-audit after every clause-arena
+//               garbageCollect() and preprocessing run, and per-patch
+//               audits inside the generation loop
+//
+// The level of one engine run comes from EcoOptions::check_level, which
+// defaults to the ECO_CHECK environment variable ("off" / "stage" /
+// "paranoid"). The per-GC solver hook is process-global (solvers are
+// created deep inside FRAIG/verification plumbing with no options channel):
+// any engine run at kParanoid installs it for the whole process until
+// setGlobalLevel() lowers it again.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eco::check {
+
+enum class Level : std::uint8_t { kOff = 0, kStage = 1, kParanoid = 2 };
+
+const char* levelName(Level level);
+
+/// Parses "off" / "stage" / "paranoid" (or "0" / "1" / "2").
+std::optional<Level> parseLevel(std::string_view text);
+
+/// Level from the ECO_CHECK environment variable, read once per process.
+/// Unset means kOff; an unparsable value warns on stderr (once) and means
+/// kOff rather than silently changing semantics of the run.
+Level levelFromEnv();
+
+/// One violated invariant.
+struct Violation {
+  std::string auditor;  ///< "aig", "sat", or "patch"
+  std::string rule;     ///< stable machine id, e.g. "strash-map"
+  std::string detail;   ///< human-readable specifics (indices, values)
+};
+
+/// Result of one audit pass. `ok()` when no invariant was violated;
+/// `checks_run` counts individual invariant evaluations so tests can assert
+/// an audit actually looked at something.
+struct AuditReport {
+  std::string subject;  ///< what was audited, e.g. "faulty", "solver@gc"
+  std::vector<Violation> violations;
+  std::uint64_t checks_run = 0;
+
+  bool ok() const { return violations.empty(); }
+  void add(std::string auditor, std::string rule, std::string detail);
+  /// Appends `other`'s violations and check count (subject is kept).
+  void merge(const AuditReport& other);
+  /// True iff some violation carries this rule id.
+  bool hasRule(std::string_view rule) const;
+
+  /// One-line human summary: subject, counts, and the first few rules.
+  std::string summary(std::size_t max_items = 3) const;
+  /// Machine-readable rendering ("ecopatch-audit-report", version 1).
+  std::string toJson() const;
+};
+
+/// Process-wide audit level. setGlobalLevel(kParanoid) installs the solver
+/// post-GC/post-preprocess audit hook (sat::setSolverAuditHook); lowering
+/// the level removes it. Thread-safe.
+void setGlobalLevel(Level level);
+Level globalLevel();
+
+/// Throws eco::CheckError carrying the report summary (the full JSON is
+/// appended after a newline so harnesses can split it back out).
+[[noreturn]] void raise(const AuditReport& report);
+
+}  // namespace eco::check

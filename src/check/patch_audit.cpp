@@ -1,0 +1,153 @@
+#include "check/patch_audit.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "aig/aig_ops.h"
+#include "check/aig_audit.h"
+
+namespace eco::check {
+
+AuditReport auditPatchContract(const EcoInstance& instance,
+                               const PatchResult& result,
+                               const PatchAuditOptions& options,
+                               std::string subject) {
+  AuditReport report;
+  report.subject = std::move(subject);
+  if (!result.success) return report;  // failures carry no patch contract
+
+  const auto fail = [&](const char* rule, std::string detail) {
+    report.add("patch", rule, std::move(detail));
+  };
+  const auto check = [&](bool ok, const char* rule, auto detail) {
+    ++report.checks_run;
+    if (!ok) fail(rule, detail());
+  };
+
+  // The patch network must be a well-formed AIG before anything else is
+  // read out of it.
+  report.merge(auditAig(result.patch, report.subject + ".aig"));
+  if (!report.ok()) return report;
+
+  const Aig& patch = result.patch;
+  const Aig& faulty = instance.faulty;
+  const std::uint32_t alpha = instance.numTargets();
+
+  // One PO per declared target, named after it, in target order — the
+  // patch drives the targets and nothing else.
+  check(patch.numPos() == alpha, "po-targets", [&] {
+    return "patch has " + std::to_string(patch.numPos()) + " outputs for " +
+           std::to_string(alpha) + " targets";
+  });
+  if (patch.numPos() == alpha) {
+    for (std::uint32_t k = 0; k < alpha; ++k) {
+      check(patch.poName(k) == instance.targetName(k), "po-name", [&] {
+        return "patch output " + std::to_string(k) + " is named '" +
+               patch.poName(k) + "', target " + std::to_string(k) + " is '" +
+               instance.targetName(k) + "'";
+      });
+    }
+  }
+
+  // Patch PIs align one-to-one with the base list.
+  check(patch.numPis() == result.base.size(), "base-align", [&] {
+    return "patch has " + std::to_string(patch.numPis()) + " inputs but the "
+           "base list has " + std::to_string(result.base.size()) + " entries";
+  });
+  const bool aligned = patch.numPis() == result.base.size();
+
+  // Transitive fanout of the target pseudo-PIs in the faulty netlist: a
+  // base signal in there would make the patched circuit cyclic.
+  std::vector<std::uint32_t> target_vars;
+  for (std::uint32_t k = 0; k < alpha; ++k) {
+    target_vars.push_back(faulty.piVar(instance.targetPi(k)));
+  }
+  const std::vector<bool> target_tfo =
+      transitiveFanoutMask(faulty, target_vars);
+
+  std::unordered_set<std::string> seen_names;
+  double recomputed_cost = 0;
+  for (std::size_t i = 0; i < result.base.size(); ++i) {
+    const BaseRef& b = result.base[i];
+    check(!b.name.empty(), "base-name", [&] {
+      return "base " + std::to_string(i) + " has no signal name";
+    });
+    check(seen_names.insert(b.name).second, "base-duplicate", [&] {
+      return "base signal '" + b.name + "' is listed twice";
+    });
+    if (aligned) {
+      check(patch.piName(static_cast<std::uint32_t>(i)) == b.name,
+            "base-align", [&] {
+              return "patch input " + std::to_string(i) + " is named '" +
+                     patch.piName(static_cast<std::uint32_t>(i)) +
+                     "', base entry is '" + b.name + "'";
+            });
+    }
+
+    // Resolution in the faulty netlist: an X primary input or a named
+    // internal signal, matching the recorded literal.
+    Lit resolved;
+    if (const auto pi_var = faulty.findPi(b.name)) {
+      resolved = Lit::fromVar(*pi_var, false);
+    } else if (const auto lit = faulty.findSignal(b.name)) {
+      resolved = *lit;
+    }
+    check(resolved.valid(), "base-unknown", [&] {
+      return "base signal '" + b.name + "' does not resolve in the faulty "
+             "netlist";
+    });
+    if (!resolved.valid()) continue;
+    check(b.lit == resolved, "base-lit", [&] {
+      return "base signal '" + b.name + "' records literal " +
+             std::to_string(b.lit.value()) + " but resolves to " +
+             std::to_string(resolved.value());
+    });
+    check(!target_tfo[resolved.var()], "base-loop", [&] {
+      return "base signal '" + b.name + "' lies in the transitive fanout of "
+             "a target — the patched circuit would be cyclic";
+    });
+    const double want_weight = instance.weightOf(b.name);
+    check(b.weight == want_weight, "base-weight", [&] {
+      return "base signal '" + b.name + "' records weight " +
+             std::to_string(b.weight) + ", the instance profile says " +
+             std::to_string(want_weight);
+    });
+    recomputed_cost += b.weight;
+  }
+
+  // Reported metrics against a recomputation.
+  check(std::abs(result.cost - recomputed_cost) <=
+            1e-9 * std::max(1.0, std::abs(recomputed_cost)),
+        "cost-mismatch", [&] {
+          return "reported cost " + std::to_string(result.cost) +
+                 " differs from the recomputed base-weight sum " +
+                 std::to_string(recomputed_cost);
+        });
+  check(result.size == patch.numAnds(), "size-mismatch", [&] {
+    return "reported size " + std::to_string(result.size) +
+           " differs from the patch AND count " +
+           std::to_string(patch.numAnds());
+  });
+
+  // Every input feeds some output (guaranteed by the engine's input
+  // pruning; unused inputs inflate the cost metric).
+  if (options.require_pruned_inputs && aligned) {
+    std::vector<Lit> roots;
+    for (std::uint32_t k = 0; k < patch.numPos(); ++k) {
+      roots.push_back(patch.poDriver(k));
+    }
+    std::unordered_set<std::uint32_t> support;
+    for (const std::uint32_t v : supportPis(patch, roots)) support.insert(v);
+    for (std::uint32_t i = 0; i < patch.numPis(); ++i) {
+      check(support.count(patch.piVar(i)) != 0, "base-unused", [&] {
+        return "patch input '" + patch.piName(i) +
+               "' feeds no patch output but is charged in the cost";
+      });
+    }
+  }
+
+  return report;
+}
+
+}  // namespace eco::check

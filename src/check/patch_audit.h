@@ -1,0 +1,43 @@
+#pragma once
+// Patch/engine contract checker.
+//
+// auditPatchContract validates a *successful* PatchResult against the
+// instance it was generated for — the externally observable contract of
+// the engine, independent of the SAT-verified functional equivalence:
+//   - the patch network itself passes the AIG structural linter
+//   - the patch drives exactly the declared targets: one PO per target,
+//     named after it, in target order
+//   - patch PIs align one-to-one with the base list (same count, names in
+//     order, no duplicate base signals)
+//   - every base signal is legal: it resolves in the faulty netlist (an X
+//     primary input or a named internal signal) to the recorded literal,
+//     and it does not lie in the transitive fanout of any target pseudo-PI
+//     (reading such a signal would close a combinational cycle through the
+//     rectified targets)
+//   - the recorded weights match the instance's weight profile, and the
+//     reported cost/size match a recomputation from the base list and the
+//     patch network
+//
+// Failed results carry no patch and are not audited (the report comes back
+// empty with zero checks).
+
+#include <string>
+
+#include "check/check.h"
+#include "eco/instance.h"
+
+namespace eco::check {
+
+struct PatchAuditOptions {
+  /// Require every patch PI to be in the support of some patch output.
+  /// Matches EcoOptions::minimize_patches: the engine only guarantees
+  /// pruned inputs when patch minimization is on.
+  bool require_pruned_inputs = true;
+};
+
+AuditReport auditPatchContract(const EcoInstance& instance,
+                               const PatchResult& result,
+                               const PatchAuditOptions& options = {},
+                               std::string subject = "patch");
+
+}  // namespace eco::check

@@ -1,0 +1,481 @@
+#include "check/sat_audit.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eco::check {
+namespace {
+
+using sat::Clause;
+using sat::ClauseId;
+using sat::ClauseRef;
+using sat::kNoRef;
+using sat::LBool;
+using sat::SLit;
+using sat::Solver;
+using sat::SolverAudit;
+using sat::Var;
+
+std::string litStr(SLit l) {
+  if (!l.defined()) return "<undef>";
+  return (l.sign() ? "~x" : "x") + std::to_string(l.var());
+}
+
+/// Per-clause facts gathered in one validation pass over the id -> ref
+/// table, so the watcher/trail/reason passes can trust the table without
+/// re-validating arena bounds (and without tripping ECO_CHECK aborts on a
+/// corrupted ref — the auditor reports, it never crashes).
+struct ClauseTable {
+  /// ids whose ref is in-bounds, id-consistent, and not relocated; the
+  /// clause view behind them is safe to read.
+  std::vector<std::uint8_t> readable;
+  /// readable and not deleted (deleted clauses legally linger in the table
+  /// between reduceDb() and the next garbageCollect()).
+  std::vector<std::uint8_t> live;
+  std::uint64_t live_words = 0;
+};
+
+ClauseTable validateClauseTable(const Solver& s, AuditReport& report) {
+  const auto& ca = SolverAudit::arena(s);
+  const auto& refs = SolverAudit::clauseRefs(s);
+  const std::size_t arena_words = ca.sizeWords();
+  const std::uint32_t n_vars = s.numVars();
+  const auto& eliminated = SolverAudit::eliminated(s);
+
+  ClauseTable table;
+  table.readable.assign(refs.size(), 0);
+  table.live.assign(refs.size(), 0);
+
+  const auto fail = [&](const char* rule, std::string detail) {
+    report.add("sat", rule, std::move(detail));
+  };
+  const auto check = [&](bool ok, const char* rule, auto detail) {
+    ++report.checks_run;
+    if (!ok) fail(rule, detail());
+  };
+
+  // Ref -> id map for alias detection (two ids claiming one arena slot).
+  std::vector<std::pair<ClauseRef, ClauseId>> slots;
+  slots.reserve(refs.size());
+
+  for (ClauseId id = 0; id < refs.size(); ++id) {
+    const ClauseRef ref = refs[id];
+    if (ref == kNoRef) continue;
+    check(std::size_t{ref} + Clause::kHeaderWords <= arena_words,
+          "arena-bounds", [&] {
+            return "clause " + std::to_string(id) + " ref " +
+                   std::to_string(ref) + " exceeds the arena (" +
+                   std::to_string(arena_words) + " words)";
+          });
+    if (std::size_t{ref} + Clause::kHeaderWords > arena_words) continue;
+    const Clause& c = ca.at(ref);
+    check(std::size_t{ref} + Clause::kHeaderWords + c.size() <= arena_words,
+          "arena-bounds", [&] {
+            return "clause " + std::to_string(id) + " (size " +
+                   std::to_string(c.size()) + " at ref " + std::to_string(ref) +
+                   ") overruns the arena";
+          });
+    if (std::size_t{ref} + Clause::kHeaderWords + c.size() > arena_words) {
+      continue;
+    }
+    check(!c.reloced(), "stale-ref", [&] {
+      return "clause " + std::to_string(id) +
+             " points at a relocated (forwarding) arena slot — table not "
+             "rebound after garbageCollect()";
+    });
+    if (c.reloced()) continue;
+    check(c.id() == id, "stale-ref", [&] {
+      return "clause " + std::to_string(id) + " ref " + std::to_string(ref) +
+             " stores id " + std::to_string(c.id()) +
+             " — stale ref after garbageCollect()";
+    });
+    if (c.id() != id) continue;
+    table.readable[id] = 1;
+    slots.emplace_back(ref, id);
+    if (c.deleted()) continue;
+    table.live[id] = 1;
+    table.live_words += Clause::kHeaderWords + c.size();
+    for (const SLit l : c.lits()) {
+      check(l.defined() && l.var() < n_vars, "clause-lit", [&] {
+        return "clause " + std::to_string(id) + " holds literal " + litStr(l) +
+               " outside the variable range " + std::to_string(n_vars);
+      });
+      if (l.defined() && l.var() < n_vars) {
+        check(!eliminated[l.var()], "clause-lit", [&] {
+          return "live clause " + std::to_string(id) +
+                 " mentions eliminated variable x" + std::to_string(l.var());
+        });
+      }
+    }
+  }
+
+  std::sort(slots.begin(), slots.end());
+  for (std::size_t i = 0; i + 1 < slots.size(); ++i) {
+    check(slots[i].first != slots[i + 1].first, "ref-alias", [&] {
+      return "clauses " + std::to_string(slots[i].second) + " and " +
+             std::to_string(slots[i + 1].second) + " share arena ref " +
+             std::to_string(slots[i].first);
+    });
+  }
+
+  // Arena accounting: live clause words plus the wasted-word counter must
+  // tile the arena exactly — anything else means a clause was freed without
+  // accounting or the table lost a clause that still occupies words.
+  if (!report.hasRule("arena-bounds") && !report.hasRule("stale-ref")) {
+    check(table.live_words + ca.wastedWords() == arena_words, "arena-account",
+          [&] {
+            return "live clauses cover " + std::to_string(table.live_words) +
+                   " words + " + std::to_string(ca.wastedWords()) +
+                   " wasted != arena size " + std::to_string(arena_words);
+          });
+  }
+  return table;
+}
+
+}  // namespace
+
+AuditReport auditSolver(const Solver& s, std::string subject) {
+  AuditReport report;
+  report.subject = std::move(subject);
+  const auto fail = [&](const char* rule, std::string detail) {
+    report.add("sat", rule, std::move(detail));
+  };
+  const auto check = [&](bool ok, const char* rule, auto detail) {
+    ++report.checks_run;
+    if (!ok) fail(rule, detail());
+  };
+
+  const auto& ca = SolverAudit::arena(s);
+  const auto& refs = SolverAudit::clauseRefs(s);
+  const auto& watches = SolverAudit::watches(s);
+  const auto& assigns = SolverAudit::assigns(s);
+  const auto& levels = SolverAudit::levels(s);
+  const auto& reasons = SolverAudit::reasons(s);
+  const auto& trail_pos = SolverAudit::trailPos(s);
+  const auto& trail = SolverAudit::trail(s);
+  const auto& trail_lim = SolverAudit::trailLim(s);
+  const auto& eliminated = SolverAudit::eliminated(s);
+  const std::uint32_t n_vars = s.numVars();
+  const bool ok_state = SolverAudit::ok(s);
+
+  const auto value = [&](SLit l) { return assigns[l.var()] ^ l.sign(); };
+
+  // --- per-variable table shapes --------------------------------------------
+  check(levels.size() == n_vars && reasons.size() == n_vars &&
+            trail_pos.size() == n_vars && eliminated.size() == n_vars,
+        "state-size", [&] {
+          return "per-variable tables disagree on the variable count (" +
+                 std::to_string(n_vars) + " vars; level " +
+                 std::to_string(levels.size()) + ", reason " +
+                 std::to_string(reasons.size()) + ", trail_pos " +
+                 std::to_string(trail_pos.size()) + ", eliminated " +
+                 std::to_string(eliminated.size()) + ")";
+        });
+  check(watches.size() == std::size_t{2} * n_vars, "state-size", [&] {
+    return "watch table has " + std::to_string(watches.size()) +
+           " lists for " + std::to_string(n_vars) + " variables";
+  });
+  check(s.picker().numVars() == n_vars, "state-size", [&] {
+    return "VSIDS picker tracks " + std::to_string(s.picker().numVars()) +
+           " variables, solver " + std::to_string(n_vars);
+  });
+  if (!report.ok()) return report;  // indexing below relies on the shapes
+
+  // --- clause table / arena -------------------------------------------------
+  const ClauseTable table = validateClauseTable(s, report);
+  const auto live_clause = [&](ClauseRef ref) -> const Clause* {
+    if (ref == kNoRef ||
+        std::size_t{ref} + Clause::kHeaderWords > ca.sizeWords()) {
+      return nullptr;
+    }
+    const Clause& c = ca.at(ref);
+    if (std::size_t{ref} + Clause::kHeaderWords + c.size() > ca.sizeWords() ||
+        c.reloced() || c.id() >= refs.size() || refs[c.id()] != ref ||
+        !table.live[c.id()]) {
+      return nullptr;
+    }
+    return &c;
+  };
+
+  // --- two-watched-literal integrity ----------------------------------------
+  std::vector<std::uint32_t> watch_count(refs.size(), 0);
+  for (std::uint32_t idx = 0; idx < watches.size(); ++idx) {
+    const SLit lit = SLit::fromIndex(idx);
+    for (const auto& w : watches[idx]) {
+      const Clause* c = live_clause(w.ref);
+      check(c != nullptr, "watch-clause", [&] {
+        return "watch list of " + litStr(lit) + " holds ref " +
+               std::to_string(w.ref) +
+               " that is not a live registered clause (stale after GC or "
+               "missing detach)";
+      });
+      if (c == nullptr) continue;
+      ++watch_count[c->id()];
+      check(c->size() >= 2, "watch-clause", [&] {
+        return "watched clause " + std::to_string(c->id()) + " has size " +
+               std::to_string(c->size());
+      });
+      if (c->size() < 2) continue;
+      check((*c)[0] == ~lit || (*c)[1] == ~lit, "watch-position", [&] {
+        return "clause " + std::to_string(c->id()) + " sits in the watch "
+               "list of " + litStr(lit) +
+               " but neither of its first two literals is " + litStr(~lit);
+      });
+      bool blocker_in_clause = false;
+      for (const SLit l : c->lits()) {
+        if (l == w.blocker) {
+          blocker_in_clause = true;
+          break;
+        }
+      }
+      check(blocker_in_clause, "watch-blocker", [&] {
+        return "watcher of clause " + std::to_string(c->id()) +
+               " carries blocker " + litStr(w.blocker) +
+               " that is not a literal of the clause";
+      });
+    }
+  }
+  // Every live clause of size >= 2 is watched exactly twice. An unattached
+  // live clause is legal only in the unsatisfiable end state (addClause
+  // keeps root-falsified clauses for proof logging without attaching them).
+  for (ClauseId id = 0; id < refs.size(); ++id) {
+    if (!table.live[id]) continue;
+    const Clause& c = ca.at(refs[id]);
+    if (c.size() < 2) {
+      check(watch_count[id] == 0, "watch-count", [&] {
+        return "unit clause " + std::to_string(id) + " appears in " +
+               std::to_string(watch_count[id]) + " watch lists";
+      });
+      continue;
+    }
+    if (watch_count[id] == 0 && !ok_state) continue;
+    check(watch_count[id] == 2, "watch-count", [&] {
+      return "clause " + std::to_string(id) + " (size " +
+             std::to_string(c.size()) + ") appears in " +
+             std::to_string(watch_count[id]) + " watch lists, expected 2";
+    });
+  }
+
+  // --- trail / assignment consistency ---------------------------------------
+  const std::uint32_t qhead = SolverAudit::qhead(s);
+  check(trail.size() <= n_vars, "trail-shape", [&] {
+    return "trail holds " + std::to_string(trail.size()) + " entries for " +
+           std::to_string(n_vars) + " variables";
+  });
+  check(qhead <= trail.size(), "trail-shape", [&] {
+    return "propagation head " + std::to_string(qhead) +
+           " is past the trail end " + std::to_string(trail.size());
+  });
+  for (std::size_t i = 0; i + 1 < trail_lim.size(); ++i) {
+    check(trail_lim[i] <= trail_lim[i + 1], "trail-shape", [&] {
+      return "decision-level marks are not monotone at level " +
+             std::to_string(i + 1);
+    });
+  }
+  check(trail_lim.empty() || trail_lim.back() <= trail.size(), "trail-shape",
+        [&] {
+          return "last decision-level mark " + std::to_string(trail_lim.back()) +
+                 " is past the trail end " + std::to_string(trail.size());
+        });
+  if (report.hasRule("trail-shape")) return report;
+
+  const std::uint32_t n_levels = static_cast<std::uint32_t>(trail_lim.size());
+  const auto level_of_pos = [&](std::uint32_t pos) {
+    std::uint32_t d = 0;
+    while (d < n_levels && pos >= trail_lim[d]) ++d;
+    return d;
+  };
+
+  std::vector<std::uint8_t> on_trail(n_vars, 0);
+  for (std::uint32_t i = 0; i < trail.size(); ++i) {
+    const SLit l = trail[i];
+    check(l.defined() && l.var() < n_vars, "trail-lit", [&] {
+      return "trail entry " + std::to_string(i) + " is " + litStr(l);
+    });
+    if (!l.defined() || l.var() >= n_vars) continue;
+    const Var v = l.var();
+    check(!on_trail[v], "trail-lit", [&] {
+      return "variable x" + std::to_string(v) + " appears twice on the trail";
+    });
+    on_trail[v] = 1;
+    check(value(l) == LBool::True, "trail-value", [&] {
+      return "trail literal " + litStr(l) + " at position " +
+             std::to_string(i) + " is not assigned true";
+    });
+    check(trail_pos[v] == i, "trail-pos", [&] {
+      return "variable x" + std::to_string(v) + " sits at trail position " +
+             std::to_string(i) + " but trail_pos records " +
+             std::to_string(trail_pos[v]);
+    });
+    check(levels[v] == level_of_pos(i), "trail-level", [&] {
+      return "variable x" + std::to_string(v) + " records level " +
+             std::to_string(levels[v]) + " but its trail position " +
+             std::to_string(i) + " lies in the level-" +
+             std::to_string(level_of_pos(i)) + " segment";
+    });
+  }
+  std::uint32_t assigned = 0;
+  for (Var v = 0; v < n_vars; ++v) {
+    if (assigns[v] != LBool::Undef) ++assigned;
+  }
+  check(assigned == trail.size(), "trail-coverage", [&] {
+    return std::to_string(assigned) + " variables are assigned but the trail "
+           "holds " + std::to_string(trail.size()) + " entries";
+  });
+  for (Var v = 0; v < n_vars; ++v) {
+    if (assigns[v] != LBool::Undef) {
+      check(on_trail[v], "trail-coverage", [&] {
+        return "variable x" + std::to_string(v) +
+               " is assigned but absent from the trail";
+      });
+    }
+    if (eliminated[v]) {
+      check(assigns[v] == LBool::Undef, "eliminated-assigned", [&] {
+        return "eliminated variable x" + std::to_string(v) +
+               " carries an assignment";
+      });
+    }
+  }
+
+  // --- reason consistency ---------------------------------------------------
+  for (std::uint32_t i = 0; i < trail.size(); ++i) {
+    const SLit l = trail[i];
+    if (!l.defined() || l.var() >= n_vars) continue;
+    const Var v = l.var();
+    const ClauseRef r = reasons[v];
+    if (r == kNoRef) {
+      // Decisions and assumption/preprocessor roots carry no reason: legal
+      // at level 0 or as the first entry of the variable's level segment.
+      const std::uint32_t d = levels[v];
+      check(d == 0 || (d <= n_levels && trail_pos[v] == trail_lim[d - 1]),
+            "reason-missing", [&] {
+              return "propagated literal " + litStr(l) + " (level " +
+                     std::to_string(d) + ", position " +
+                     std::to_string(trail_pos[v]) + ") has no reason clause";
+            });
+      continue;
+    }
+    const Clause* c = live_clause(r);
+    check(c != nullptr, "reason-clause", [&] {
+      return "reason of x" + std::to_string(v) + " (ref " + std::to_string(r) +
+             ") is not a live registered clause (stale after GC?)";
+    });
+    if (c == nullptr) continue;
+    check(c->size() >= 1 && (*c)[0] == l, "reason-assert", [&] {
+      return "reason clause " + std::to_string(c->id()) + " of x" +
+             std::to_string(v) + " does not assert the trail literal " +
+             litStr(l) + " at its first position";
+    });
+    if (c->size() < 1 || (*c)[0] != l) continue;
+    for (std::uint32_t k = 1; k < c->size(); ++k) {
+      const SLit other = (*c)[k];
+      if (!other.defined() || other.var() >= n_vars) continue;
+      check(value(other) == LBool::False &&
+                trail_pos[other.var()] < trail_pos[v],
+            "reason-order", [&] {
+              return "reason clause " + std::to_string(c->id()) + " of x" +
+                     std::to_string(v) + " holds literal " + litStr(other) +
+                     " that is not falsified earlier on the trail";
+            });
+    }
+  }
+  for (Var v = 0; v < n_vars; ++v) {
+    if (assigns[v] == LBool::Undef) {
+      check(reasons[v] == kNoRef, "reason-stale", [&] {
+        return "unassigned variable x" + std::to_string(v) +
+               " still carries reason ref " + std::to_string(reasons[v]) +
+               " (turns stale at the next garbageCollect())";
+      });
+    }
+  }
+
+  // --- propagation fixpoint -------------------------------------------------
+  // Only meaningful when the queue is drained and the solver is not already
+  // in the unsatisfiable end state: a clause with no true literal must not
+  // watch a false literal (it would have propagated or conflicted).
+  if (ok_state && qhead == trail.size() && !report.hasRule("watch-count")) {
+    for (ClauseId id = 0; id < refs.size(); ++id) {
+      if (!table.live[id]) continue;
+      const Clause& c = ca.at(refs[id]);
+      if (c.size() < 2 || watch_count[id] != 2) continue;
+      bool satisfied = false;
+      for (const SLit l : c.lits()) {
+        if (l.defined() && l.var() < n_vars && value(l) == LBool::True) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      for (int j = 0; j < 2; ++j) {
+        const SLit w = c[static_cast<std::uint32_t>(j)];
+        if (!w.defined() || w.var() >= n_vars) continue;
+        check(value(w) != LBool::False, "watch-fixpoint", [&] {
+          return "non-satisfied clause " + std::to_string(id) +
+                 " watches the false literal " + litStr(w) +
+                 " at propagation fixpoint";
+        });
+      }
+    }
+  }
+
+  // --- VSIDS decision heap --------------------------------------------------
+  {
+    std::string why;
+    check(s.picker().auditHeap(&why), "vsids-heap",
+          [&] { return "decision heap self-check failed: " + why; });
+  }
+  for (Var v = 0; v < n_vars; ++v) {
+    if (assigns[v] == LBool::Undef && !eliminated[v] &&
+        s.picker().decidable(v)) {
+      check(s.picker().heapContains(v), "vsids-missing", [&] {
+        return "unassigned decidable variable x" + std::to_string(v) +
+               " is absent from the decision heap";
+      });
+    }
+    if (eliminated[v]) {
+      check(!s.picker().decidable(v), "vsids-eliminated", [&] {
+        return "eliminated variable x" + std::to_string(v) +
+               " is still decidable";
+      });
+    }
+  }
+
+  // --- learned / LBD / identity bookkeeping ---------------------------------
+  std::uint32_t live_learned = 0;
+  for (ClauseId id = 0; id < refs.size(); ++id) {
+    if (!table.live[id]) continue;
+    const Clause& c = ca.at(refs[id]);
+    if (!c.learned() || c.size() < 2) continue;
+    ++live_learned;
+    check(c.lbd() <= c.size(), "lbd-range", [&] {
+      return "learned clause " + std::to_string(id) + " records LBD " +
+             std::to_string(c.lbd()) + " above its size " +
+             std::to_string(c.size());
+    });
+  }
+  check(SolverAudit::numLearned(s) == live_learned, "learned-count", [&] {
+    return "solver counts " + std::to_string(SolverAudit::numLearned(s)) +
+           " learned clauses but " + std::to_string(live_learned) +
+           " are live in the database";
+  });
+  check(SolverAudit::clauseBirth(s).size() == refs.size(), "birth-size", [&] {
+    return "clause_birth table has " +
+           std::to_string(SolverAudit::clauseBirth(s).size()) +
+           " entries for " + std::to_string(refs.size()) + " clause ids";
+  });
+  if (SolverAudit::logsProof(s)) {
+    check(s.proof().chains.size() == refs.size(), "proof-size", [&] {
+      return "proof-chain table has " +
+             std::to_string(s.proof().chains.size()) + " entries for " +
+             std::to_string(refs.size()) + " clause ids";
+    });
+  }
+
+  return report;
+}
+
+}  // namespace eco::check

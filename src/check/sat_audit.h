@@ -1,0 +1,93 @@
+#pragma once
+// SAT solver state auditor.
+//
+// auditSolver is a read-only pass over a sat::Solver's entire mutable
+// state:
+//   - clause table / arena integrity: every stable ClauseId maps to an
+//     in-bounds, non-relocated clause that stores that id (stale-ref
+//     detection after garbageCollect()), no two ids alias one arena slot,
+//     and the live-word + wasted-word accounting covers the arena exactly
+//   - two-watched-literal integrity: every watcher points at a live,
+//     currently-registered clause through its first two literals with a
+//     blocker from the clause; every live clause of size >= 2 is watched
+//     exactly twice; at propagation fixpoint a non-satisfied clause never
+//     watches a false literal
+//   - trail / assignment / reason consistency: trail entries are true and
+//     position-indexed, decision-level segments match trail_lim_, reasons
+//     are live registered clauses asserting their variable with all other
+//     literals falsified earlier on the trail, unassigned variables carry
+//     no (possibly stale) reason
+//   - VSIDS: decision-heap property, position-map agreement, and presence
+//     of every unassigned decidable variable
+//   - learned/LBD bookkeeping: the live learned-clause count matches
+//     num_learned_, LBD never exceeds clause size, proof-chain table size
+//     tracks the clause table under proof logging
+//
+// SolverAudit/PickerAudit are friend backdoors: const views for the
+// auditor, mutable ones for the negative corruption tests. Production code
+// must not touch them.
+
+#include <string>
+
+#include "check/check.h"
+#include "sat/solver.h"
+
+namespace eco::sat {
+
+struct SolverAudit {
+  static const ClauseAllocator& arena(const Solver& s) { return s.ca_; }
+  static const std::vector<ClauseRef>& clauseRefs(const Solver& s) {
+    return s.clause_refs_;
+  }
+  static const auto& watches(const Solver& s) { return s.watches_; }
+  static const std::vector<LBool>& assigns(const Solver& s) { return s.assigns_; }
+  static const std::vector<std::uint32_t>& levels(const Solver& s) {
+    return s.level_;
+  }
+  static const std::vector<ClauseRef>& reasons(const Solver& s) {
+    return s.reason_;
+  }
+  static const std::vector<std::uint32_t>& trailPos(const Solver& s) {
+    return s.trail_pos_;
+  }
+  static const std::vector<SLit>& trail(const Solver& s) { return s.trail_; }
+  static const std::vector<std::uint32_t>& trailLim(const Solver& s) {
+    return s.trail_lim_;
+  }
+  static std::uint32_t qhead(const Solver& s) { return s.qhead_; }
+  static bool ok(const Solver& s) { return s.ok_; }
+  static bool logsProof(const Solver& s) { return s.log_proof_; }
+  static std::uint32_t numLearned(const Solver& s) { return s.num_learned_; }
+  static const std::vector<bool>& eliminated(const Solver& s) {
+    return s.eliminated_;
+  }
+  static const std::vector<std::uint64_t>& clauseBirth(const Solver& s) {
+    return s.clause_birth_;
+  }
+
+  // Mutable access — corruption hooks for the auditor's negative tests only.
+  static auto& watchesMut(Solver& s) { return s.watches_; }
+  static std::vector<ClauseRef>& clauseRefsMut(Solver& s) {
+    return s.clause_refs_;
+  }
+  static std::vector<LBool>& assignsMut(Solver& s) { return s.assigns_; }
+  static std::vector<ClauseRef>& reasonsMut(Solver& s) { return s.reason_; }
+  static std::uint32_t& numLearnedMut(Solver& s) { return s.num_learned_; }
+  static VsidsPicker& pickerMut(Solver& s) { return s.picker_; }
+};
+
+struct PickerAudit {
+  static std::vector<double>& activitiesMut(VsidsPicker& p) {
+    return p.activity_;
+  }
+};
+
+}  // namespace eco::sat
+
+namespace eco::check {
+
+/// Runs the full state audit; `subject` labels the report.
+AuditReport auditSolver(const sat::Solver& solver,
+                        std::string subject = "solver");
+
+}  // namespace eco::check

@@ -8,6 +8,9 @@
 #include "aig/minimize.h"
 #include "base/check.h"
 #include "base/thread_pool.h"
+#include "check/aig_audit.h"
+#include "check/check.h"
+#include "check/patch_audit.h"
 #include "eco/candidates.h"
 #include "eco/clustering.h"
 #include "eco/costopt.h"
@@ -83,6 +86,25 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
     ECO_OBS_COUNT("eco.runs", 1);
     ECO_OBS_COUNT(result.success ? "eco.runs_ok" : "eco.runs_failed", 1);
   };
+  // Invariant-audit checkpoints (DESIGN.md "Static analysis & invariant
+  // audit"). A failed audit is an engine defect, reported like a failed
+  // final verification: a failed result with an "internal error" message
+  // plus the machine-readable report, so the QA harness can catch and
+  // shrink it. Paranoid runs additionally arm the process-global solver
+  // hook (audits after every clause-arena GC and preprocessing run).
+  const check::Level check_level = options_.check_level;
+  if (check_level >= check::Level::kParanoid &&
+      check::globalLevel() < check::Level::kParanoid) {
+    check::setGlobalLevel(check::Level::kParanoid);
+  }
+  const auto auditFailed = [&](const check::AuditReport& rep) -> bool {
+    if (rep.ok()) return false;
+    result.success = false;
+    result.message = "internal error: invariant audit failed: " + rep.summary();
+    result.audit_json = rep.toJson();
+    return true;
+  };
+
   const std::uint32_t alpha = instance.numTargets();
   if (alpha == 0) {
     result.success = false;
@@ -115,6 +137,16 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
     clusters = clusterTargets(instance);
   }
   result.num_clusters = static_cast<std::uint32_t>(clusters.size());
+
+  if (check_level >= check::Level::kStage) {
+    obs::Span s("eco.audit_setup");
+    if (auditFailed(check::auditAig(instance.faulty, "setup.faulty")) ||
+        auditFailed(check::auditAig(instance.golden, "setup.golden")) ||
+        auditFailed(check::auditAig(ws.w, "setup.workspace"))) {
+      finishRun();
+      return result;
+    }
+  }
 
   // Outputs no target can influence must already match the golden circuit.
   {
@@ -157,6 +189,13 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
     result.fraig_seconds = s.stop();
     result.fraig_sat_queries = fstats.sat_queries;
     result.fraig_rounds = fstats.rounds;
+    if (check_level >= check::Level::kStage) {
+      obs::Span audit_span("eco.audit_fraig");
+      if (auditFailed(check::auditAig(ws.w, "fraig.workspace"))) {
+        finishRun();
+        return result;
+      }
+    }
   }
 
   std::vector<Candidate> candidates = collectCandidates(instance, ws);
@@ -218,6 +257,17 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
     }
   }
   result.patchgen_seconds = patchgen_span.stop();
+
+  if (check_level >= check::Level::kParanoid) {
+    obs::Span s("eco.audit_patchgen");
+    for (std::uint32_t k = 0; k < alpha; ++k) {
+      if (auditFailed(check::auditAig(patches[k].fn,
+                                      "patchgen.target" + std::to_string(k)))) {
+        finishRun();
+        return result;
+      }
+    }
+  }
 
   // Soundness gate: the initial patch must verify. The generation procedure
   // is complete for this formulation, so failure here means the instance is
@@ -364,6 +414,22 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
       if (!improved) break;
     }
     result.opt_seconds = opt_span.stop();
+    if (check_level >= check::Level::kStage) {
+      obs::Span s("eco.audit_opt");
+      if (auditFailed(check::auditAig(ws.w, "opt.workspace"))) {
+        finishRun();
+        return result;
+      }
+      if (check_level >= check::Level::kParanoid) {
+        for (std::uint32_t k = 0; k < alpha; ++k) {
+          if (auditFailed(check::auditAig(patches[k].fn,
+                                          "opt.target" + std::to_string(k)))) {
+            finishRun();
+            return result;
+          }
+        }
+      }
+    }
   }
 
   // Final verification (defense in depth for the optimization stage). A
@@ -388,6 +454,19 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
   assembleResult(instance, patches, result);
   result.success = true;
   result.message = "ok";
+
+  // Final contract gate: the assembled result must satisfy the patch/engine
+  // contract before it is handed out as a success.
+  if (check_level >= check::Level::kStage) {
+    obs::Span s("eco.audit_final");
+    check::PatchAuditOptions pao;
+    pao.require_pruned_inputs = options_.minimize_patches;
+    if (auditFailed(
+            check::auditPatchContract(instance, result, pao, "final.patch"))) {
+      finishRun();
+      return result;
+    }
+  }
   finishRun();
   return result;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "aig/aig.h"
+#include "check/check.h"
 
 namespace eco {
 
@@ -61,6 +62,10 @@ struct PatchResult {
   /// On unrectifiability: an X assignment under which no target valuation
   /// (or no generated patch) reproduces the golden outputs.
   std::vector<bool> counterexample;
+  /// When an invariant audit failed the run (message prefixed
+  /// "internal error: invariant audit"): the full machine-readable
+  /// AuditReport ("ecopatch-audit-report" JSON).
+  std::string audit_json;
 
   /// Patch network: PI i corresponds to base[i]; PO k is the patch
   /// function of target k (named after the target).
@@ -122,6 +127,10 @@ struct EcoOptions {
   /// Results (patch, cost, size) are identical for every value — see the
   /// determinism contract in DESIGN.md.
   std::uint32_t num_threads = 0;
+  /// Invariant-audit level for this run (src/check): stage-boundary
+  /// checkpoints at kStage, plus per-GC solver audits and per-patch AIG
+  /// audits at kParanoid. Defaults to the ECO_CHECK environment variable.
+  check::Level check_level = check::levelFromEnv();
 };
 
 }  // namespace eco

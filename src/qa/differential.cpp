@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/patch_audit.h"
 #include "eco/engine.h"
 #include "qa/oracle.h"
 
@@ -71,9 +72,12 @@ InstanceVerdict checkInstance(const EcoInstance& instance, bool known_rectifiabl
   std::vector<PatchResult> results;
   results.reserve(matrix.size());
   for (const DiffConfig& cfg : matrix) {
+    EcoOptions run_options = cfg.options;
+    run_options.check_level =
+        std::max(run_options.check_level, options.audit_level);
     PatchResult r;
     try {
-      r = EcoEngine(cfg.options).run(instance);
+      r = EcoEngine(run_options).run(instance);
     } catch (const std::exception& e) {
       // A violated engine invariant (ECO_CHECK) surfaces here; contain it
       // so the campaign continues and the instance can be shrunk.
@@ -93,6 +97,18 @@ InstanceVerdict checkInstance(const EcoInstance& instance, bool known_rectifiabl
       }
       for (const std::string& v : o.violations) {
         verdict.violations.push_back(cfg.name + ": " + v);
+      }
+      if (options.audit_level >= check::Level::kStage) {
+        // Harness-side contract audit of the *returned* result — unlike the
+        // engine's own final gate this sees post-run corruptions too.
+        check::PatchAuditOptions pao;
+        pao.require_pruned_inputs = run_options.minimize_patches;
+        const check::AuditReport rep =
+            check::auditPatchContract(instance, r, pao, cfg.name + ".patch");
+        if (!rep.ok()) {
+          verdict.violations.push_back(cfg.name + ": contract audit: " +
+                                       rep.summary());
+        }
       }
     } else if (r.message.rfind("internal error", 0) == 0) {
       // The engine's own defense-in-depth tripped (a failed invariant or a

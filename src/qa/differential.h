@@ -45,6 +45,12 @@ enum class PlantedBug : std::uint8_t {
 struct CheckOptions {
   std::vector<DiffConfig> matrix;  ///< empty = defaultMatrix()
   PlantedBug plant_bug = PlantedBug::None;
+  /// Floor for every config's invariant-audit level (src/check): each
+  /// engine run uses the stricter of its config's level and this one, and
+  /// every successful result is re-audited against the patch/engine
+  /// contract by the harness itself (catching result corruptions the
+  /// engine-side audit cannot see, e.g. the MisreportCost planted bug).
+  check::Level audit_level = check::Level::kOff;
 };
 
 struct InstanceVerdict {

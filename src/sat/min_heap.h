@@ -13,6 +13,7 @@
 // key array (e.g. the activity vector), which must outlive the heap.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "base/check.h"
@@ -69,6 +70,42 @@ class IndexedMinHeap {
     const std::uint32_t i = pos_[key];
     up(i);
     down(pos_[key]);
+  }
+
+  /// Structural self-check for the invariant auditor: the heap property
+  /// holds at every slot and the position map is the exact inverse of the
+  /// slot array. Returns false and fills `why` on the first violation.
+  bool audit(std::string* why) const {
+    for (std::uint32_t i = 0; i < heap_.size(); ++i) {
+      const std::uint32_t key = heap_[i];
+      if (key >= pos_.size() || pos_[key] != i) {
+        if (why != nullptr) {
+          *why = "position map disagrees with slot " + std::to_string(i) +
+                 " (key " + std::to_string(key) + ")";
+        }
+        return false;
+      }
+      if (i > 0 && less_(key, heap_[(i - 1) >> 1])) {
+        if (why != nullptr) {
+          *why = "heap property violated at slot " + std::to_string(i) +
+                 " (key " + std::to_string(key) + " orders before its parent)";
+        }
+        return false;
+      }
+    }
+    std::uint32_t present = 0;
+    for (const std::uint32_t p : pos_) {
+      if (p != kAbsent) ++present;
+    }
+    if (present != heap_.size()) {
+      if (why != nullptr) {
+        *why = "position map marks " + std::to_string(present) +
+               " keys present but the heap holds " +
+               std::to_string(heap_.size());
+      }
+      return false;
+    }
+    return true;
   }
 
  private:

@@ -1,6 +1,7 @@
 #include "sat/solver.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "base/check.h"
@@ -8,6 +9,22 @@
 #include "obs/trace.h"
 
 namespace eco::sat {
+
+namespace {
+
+std::atomic<SolverAuditHook> g_audit_hook{nullptr};
+
+void runAuditHook(const Solver& solver, const char* site) {
+  if (const SolverAuditHook hook = g_audit_hook.load(std::memory_order_acquire)) {
+    hook(solver, site);
+  }
+}
+
+}  // namespace
+
+void setSolverAuditHook(SolverAuditHook hook) {
+  g_audit_hook.store(hook, std::memory_order_release);
+}
 
 namespace {
 
@@ -534,6 +551,7 @@ void Solver::garbageCollect() {
   ca_ = std::move(to);
   ++stats_gcs_;
   ECO_OBS_COUNT("sat.arena_gcs", 1);
+  runAuditHook(*this, "gc");
 }
 
 // --- search --------------------------------------------------------------------
@@ -654,6 +672,7 @@ Status Solver::solve(std::span<const SLit> assumptions) {
     ECO_OBS_COUNT("sat.pre_resolvents", pre_stats_.added_resolvents);
     ECO_OBS_COUNT("sat.pre_strengthened_lits", pre_stats_.strengthened_lits);
     ECO_OBS_COUNT("sat.pre_units", pre_stats_.propagated_units);
+    if (ok_) runAuditHook(*this, "preprocess");
   }
   if (!ok_) return Status::Unsat;
   for (const SLit a : assumptions) {

@@ -53,6 +53,16 @@ namespace eco::sat {
 
 enum class Status { Sat, Unsat, Undef };
 
+class Solver;
+
+/// Process-global audit hook (installed by check::setGlobalLevel at the
+/// paranoid level): invoked with the solver and a site tag ("gc",
+/// "preprocess") after every arena compaction and preprocessing run.
+/// nullptr removes the hook. The solver pays one relaxed atomic load per
+/// site when no hook is installed.
+using SolverAuditHook = void (*)(const Solver&, const char* site);
+void setSolverAuditHook(SolverAuditHook hook);
+
 class Solver {
  public:
   explicit Solver(bool log_proof = false);
@@ -144,6 +154,9 @@ class Solver {
 
  private:
   friend class Preprocessor;
+  // Invariant-audit backdoor (src/check/sat_audit.h): const views of the
+  // internal state for the auditor, mutable ones for its corruption tests.
+  friend struct SolverAudit;
 
   struct Watcher {
     ClauseRef ref;

@@ -17,6 +17,7 @@
 // even though every individual activity stayed in range.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "base/check.h"
@@ -88,9 +89,19 @@ class VsidsPicker {
   /// test can observe the guard.
   double activityInc() const { return inc_; }
 
+  // Invariant-audit surface (src/check/sat_audit.cpp): heap membership,
+  // decidability, and a structural self-check of the decision heap.
+  bool heapContains(Var v) const { return heap_.contains(v); }
+  std::size_t heapSize() const { return heap_.size(); }
+  bool decidable(Var v) const { return decidable_[v]; }
+  /// Heap property + position-map agreement; false fills `why`.
+  bool auditHeap(std::string* why) const { return heap_.audit(why); }
+
   static constexpr Var kNoVar = 0xFFFFFFFFu;
 
  private:
+  // Corruption backdoor for the auditor's negative tests (test_check.cpp).
+  friend struct PickerAudit;
   struct ActivityOrder {
     const std::vector<double>* activity;
     // Higher activity = earlier in the min-heap order, so the root of the

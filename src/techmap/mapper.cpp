@@ -120,7 +120,8 @@ Aig MappedNetlist::toAig() const {
 
 MappedNetlist mapAig(const Aig& aig, const CellLibrary& library,
                      const MapOptions& options) {
-  const std::uint32_t k = std::min<std::uint32_t>(4, std::max<std::uint32_t>(2, options.cut_size));
+  const std::uint32_t k =
+      std::min<std::uint32_t>(4, std::max<std::uint32_t>(2, options.cut_size));
 
   std::vector<Lit> roots;
   for (std::uint32_t j = 0; j < aig.numPos(); ++j) roots.push_back(aig.poDriver(j));

@@ -92,7 +92,8 @@ TEST(Blif, RejectsLatch) {
 }
 
 TEST(Blif, RejectsMixedPolarity) {
-  const std::string text = ".model m\n.inputs a\n.outputs o\n.names a o\n1 1\n0 0\n.end\n";
+  const std::string text =
+      ".model m\n.inputs a\n.outputs o\n.names a o\n1 1\n0 0\n.end\n";
   EXPECT_THROW(parseBlif(text), std::runtime_error);
 }
 
@@ -113,7 +114,8 @@ TEST(Blif, RejectsCycle) {
 }
 
 TEST(Blif, RejectsUndriven) {
-  const std::string text = ".model u\n.inputs a\n.outputs o\n.names a ghost o\n11 1\n.end\n";
+  const std::string text =
+      ".model u\n.inputs a\n.outputs o\n.names a ghost o\n11 1\n.end\n";
   EXPECT_THROW(parseBlif(text), std::runtime_error);
 }
 

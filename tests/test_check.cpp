@@ -1,0 +1,542 @@
+// Invariant-audit layer tests (src/check).
+//
+// The positive direction — clean graphs, solvers, and engine results audit
+// clean — rides along every case; the heart of this file is the negative
+// direction: each test corrupts one internal table through the audit
+// backdoors (AigAudit / SolverAudit / PickerAudit) and asserts the matching
+// auditor reports the *exact* violated rule. A checker that cannot see a
+// planted corruption is itself broken.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchgen/benchgen.h"
+#include "check/aig_audit.h"
+#include "check/check.h"
+#include "check/patch_audit.h"
+#include "check/sat_audit.h"
+#include "eco/engine.h"
+#include "io/instance_io.h"
+#include "qa/differential.h"
+
+namespace eco {
+namespace {
+
+#ifndef ECO_CORPUS_DIR
+#define ECO_CORPUS_DIR ""
+#endif
+
+using check::AuditReport;
+using check::Level;
+
+// --- level plumbing ----------------------------------------------------------
+
+TEST(CheckLevel, ParseAndName) {
+  EXPECT_EQ(check::parseLevel("off"), Level::kOff);
+  EXPECT_EQ(check::parseLevel("stage"), Level::kStage);
+  EXPECT_EQ(check::parseLevel("paranoid"), Level::kParanoid);
+  EXPECT_EQ(check::parseLevel("0"), Level::kOff);
+  EXPECT_EQ(check::parseLevel("1"), Level::kStage);
+  EXPECT_EQ(check::parseLevel("2"), Level::kParanoid);
+  EXPECT_FALSE(check::parseLevel("zealous").has_value());
+  EXPECT_FALSE(check::parseLevel("").has_value());
+  EXPECT_STREQ(check::levelName(Level::kOff), "off");
+  EXPECT_STREQ(check::levelName(Level::kStage), "stage");
+  EXPECT_STREQ(check::levelName(Level::kParanoid), "paranoid");
+}
+
+TEST(CheckLevel, ReportSummaryAndJson) {
+  AuditReport report;
+  report.subject = "unit";
+  report.checks_run = 7;
+  EXPECT_TRUE(report.ok());
+  EXPECT_NE(report.summary().find("ok (7 checks)"), std::string::npos);
+  report.add("aig", "topo-order", "AND 3 reads AND 5");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("topo-order"));
+  EXPECT_FALSE(report.hasRule("strash-map"));
+  const std::string json = report.toJson();
+  EXPECT_NE(json.find("\"schema\":\"ecopatch-audit-report\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"topo-order\""), std::string::npos);
+  EXPECT_THROW(check::raise(report), CheckError);
+}
+
+// --- AIG structural linter ---------------------------------------------------
+
+Aig sampleAig() {
+  Aig aig;
+  const Lit a = aig.addPi("a");
+  const Lit b = aig.addPi("b");
+  const Lit c = aig.addPi("c");
+  const Lit ab = aig.addAnd(a, b);
+  const Lit abc = aig.addAnd(ab, !c);
+  aig.addPo(abc, "out");
+  aig.addPo(!ab, "aux");
+  aig.setSignalName(ab, "n_ab");
+  return aig;
+}
+
+TEST(AigAudit, CleanGraphPasses) {
+  const Aig aig = sampleAig();
+  const AuditReport report = check::auditAig(aig, "sample");
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(report.checks_run, 10u);
+  const AuditReport empty = check::auditAig(Aig{});
+  EXPECT_TRUE(empty.ok()) << empty.summary();
+}
+
+TEST(AigAudit, DetectsCorruptedStrashEntry) {
+  Aig aig = sampleAig();
+  // Redirect one strash entry to the wrong node.
+  auto& strash = AigAudit::strashMut(aig);
+  ASSERT_FALSE(strash.empty());
+  strash.begin()->second = 1;  // a PI variable — never a legal AND mapping
+  const AuditReport report = check::auditAig(aig);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("strash-map") || report.hasRule("strash-orphan"))
+      << report.summary();
+}
+
+TEST(AigAudit, DetectsMissingStrashEntry) {
+  Aig aig = sampleAig();
+  auto& strash = AigAudit::strashMut(aig);
+  strash.erase(strash.begin());
+  const AuditReport report = check::auditAig(aig);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("strash-missing")) << report.summary();
+  EXPECT_TRUE(report.hasRule("strash-size")) << report.summary();
+}
+
+TEST(AigAudit, DetectsTopologicalOrderViolation) {
+  Aig aig = sampleAig();
+  auto& nodes = AigAudit::nodesMut(aig);
+  // First AND node (var 4 in sampleAig) now reads the later AND (var 5):
+  // a cycle through the second gate.
+  nodes[4].fanin0 = Lit::fromVar(5, false);
+  const AuditReport report = check::auditAig(aig);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("topo-order")) << report.summary();
+}
+
+TEST(AigAudit, DetectsDanglingFanin) {
+  Aig aig = sampleAig();
+  auto& nodes = AigAudit::nodesMut(aig);
+  nodes[5].fanin1 = Lit::fromVar(1000, true);
+  const AuditReport report = check::auditAig(aig);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("dangling-fanin")) << report.summary();
+}
+
+TEST(AigAudit, DetectsBadPoDriverAndPiOrdinal) {
+  Aig aig = sampleAig();
+  AigAudit::posMut(aig)[0] = Lit::fromVar(99, false);
+  AuditReport report = check::auditAig(aig);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("po-driver")) << report.summary();
+
+  Aig aig2 = sampleAig();
+  // PI variable 1 is the 0th PI; make it claim ordinal 1 — round-trip breaks.
+  AigAudit::nodesMut(aig2)[1].fanin1 = Lit::fromValue(1);
+  report = check::auditAig(aig2);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("pi-index")) << report.summary();
+}
+
+TEST(AigAudit, DetectsNameIndexDivergence) {
+  Aig aig = sampleAig();
+  auto& index = AigAudit::nameIndexMut(aig);
+  ASSERT_EQ(index.count("n_ab"), 1u);
+  index["n_ab"] = !index["n_ab"];
+  const AuditReport report = check::auditAig(aig);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("name-index")) << report.summary();
+}
+
+TEST(AigAudit, DetectsConstantFanin) {
+  // addAnd folds constants, so a constant fanin can only appear through
+  // corruption; point the top AND at the constant node.
+  Aig aig = sampleAig();
+  auto& nodes = AigAudit::nodesMut(aig);
+  nodes[5].fanin0 = Lit::fromVar(0, false);
+  const AuditReport report = check::auditAig(aig);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("const-fanin")) << report.summary();
+}
+
+// --- SAT solver state auditor ------------------------------------------------
+
+/// Loads a small satisfiable CNF with enough clauses to exercise watches
+/// and GC into `s` (Solver is pinned in place — no move constructor).
+void loadChainCnf(sat::Solver& s, std::uint32_t chain = 12) {
+  std::vector<sat::Var> v;
+  for (std::uint32_t i = 0; i < chain; ++i) v.push_back(s.newVar());
+  for (std::uint32_t i = 0; i + 1 < chain; ++i) {
+    s.addClause({sat::SLit::make(v[i], true), sat::SLit::make(v[i + 1], false)});
+    s.addClause({sat::SLit::make(v[i], false), sat::SLit::make(v[i + 1], false),
+                 sat::SLit::make(v[(i + 2) % chain], true)});
+  }
+}
+
+TEST(SatAudit, CleanSolverPassesBeforeAndAfterSolveAndGc) {
+  sat::Solver s;
+  loadChainCnf(s);
+  AuditReport report = check::auditSolver(s, "fresh");
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(report.checks_run, 20u);
+
+  ASSERT_EQ(s.solve(), sat::Status::Sat);
+  report = check::auditSolver(s, "solved");
+  EXPECT_TRUE(report.ok()) << report.summary();
+
+  s.garbageCollect();
+  report = check::auditSolver(s, "after-gc");
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(SatAudit, CleanPreprocessedSolverPasses) {
+  sat::Solver s;
+  loadChainCnf(s, 16);
+  s.setPreprocessing(true);
+  ASSERT_EQ(s.solve(), sat::Status::Sat);
+  const AuditReport report = check::auditSolver(s, "preprocessed");
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(SatAudit, DetectsWatcherBlockerCorruption) {
+  sat::Solver s;
+  loadChainCnf(s);
+  auto& watches = sat::SolverAudit::watchesMut(s);
+  bool corrupted = false;
+  for (auto& ws : watches) {
+    if (!ws.empty()) {
+      // A fresh variable's literal can appear in no clause.
+      const sat::Var v = s.newVar();
+      ws.front().blocker = sat::SLit::make(v, false);
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  const AuditReport report = check::auditSolver(s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("watch-blocker")) << report.summary();
+}
+
+TEST(SatAudit, DetectsLostWatcher) {
+  sat::Solver s;
+  loadChainCnf(s);
+  auto& watches = sat::SolverAudit::watchesMut(s);
+  bool corrupted = false;
+  for (auto& ws : watches) {
+    if (!ws.empty()) {
+      ws.pop_back();
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  const AuditReport report = check::auditSolver(s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("watch-count")) << report.summary();
+}
+
+TEST(SatAudit, DetectsStaleClauseRefAfterGc) {
+  sat::Solver s;
+  loadChainCnf(s);
+  auto& refs = sat::SolverAudit::clauseRefsMut(s);
+  ASSERT_GE(refs.size(), 2u);
+  // Simulate a ref the garbage collector failed to rebind: point clause 0
+  // at clause 1's slot. The slot stores id 1, so ref 0 is visibly stale.
+  refs[0] = refs[1];
+  const AuditReport report = check::auditSolver(s);
+  ASSERT_FALSE(report.ok());
+  // The slot stores id 1, so ref 0 is stale (and drops out of the live set —
+  // its watchers then dangle); the alias rule is for two *live* ids sharing
+  // a slot, which an id-mismatch ref by definition cannot be.
+  EXPECT_TRUE(report.hasRule("stale-ref")) << report.summary();
+  EXPECT_TRUE(report.hasRule("watch-clause")) << report.summary();
+}
+
+TEST(SatAudit, DetectsAssignmentTrailDivergence) {
+  sat::Solver s;
+  loadChainCnf(s);
+  // A unit clause enqueues its literal on the root trail immediately;
+  // silently unassign the variable behind the trail's back.
+  const sat::Var u = s.newVar();
+  s.addClause({sat::SLit::make(u, false)});
+  ASSERT_FALSE(sat::SolverAudit::trail(s).empty());
+  sat::SolverAudit::assignsMut(s)[u] = sat::LBool::Undef;
+  const AuditReport report = check::auditSolver(s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("trail-value") ||
+              report.hasRule("trail-coverage"))
+      << report.summary();
+}
+
+TEST(SatAudit, DetectsStaleReasonOnUnassignedVar) {
+  sat::Solver s;
+  loadChainCnf(s);
+  const sat::Var v = s.newVar();
+  auto& reasons = sat::SolverAudit::reasonsMut(s);
+  reasons[v] = sat::SolverAudit::clauseRefs(s).front();
+  const AuditReport report = check::auditSolver(s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("reason-stale")) << report.summary();
+}
+
+TEST(SatAudit, DetectsVsidsHeapCorruption) {
+  sat::Solver s;
+  loadChainCnf(s);
+  auto& activity =
+      sat::PickerAudit::activitiesMut(sat::SolverAudit::pickerMut(s));
+  ASSERT_GE(activity.size(), 3u);
+  // All activities are equal on a fresh solver; boosting a non-root key
+  // makes it order before its heap parent.
+  activity.back() = 1e50;
+  const AuditReport report = check::auditSolver(s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("vsids-heap")) << report.summary();
+}
+
+TEST(SatAudit, DetectsLearnedCountDrift) {
+  sat::Solver s;
+  loadChainCnf(s);
+  sat::SolverAudit::numLearnedMut(s) += 5;
+  const AuditReport report = check::auditSolver(s);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("learned-count")) << report.summary();
+}
+
+TEST(SatAudit, ParanoidGlobalLevelArmsGcHook) {
+  ASSERT_EQ(check::globalLevel(), Level::kOff);
+  check::setGlobalLevel(Level::kParanoid);
+  EXPECT_EQ(check::globalLevel(), Level::kParanoid);
+
+  // Clean solver: the post-GC audit passes silently.
+  sat::Solver clean;
+  loadChainCnf(clean);
+  EXPECT_NO_THROW(clean.garbageCollect());
+
+  // Corrupted solver: the post-GC audit raises.
+  sat::Solver bad;
+  loadChainCnf(bad);
+  sat::SolverAudit::numLearnedMut(bad) += 1;
+  EXPECT_THROW(bad.garbageCollect(), CheckError);
+
+  check::setGlobalLevel(Level::kOff);
+  EXPECT_EQ(check::globalLevel(), Level::kOff);
+  // Disarmed: the corrupted solver no longer throws.
+  sat::Solver bad2;
+  loadChainCnf(bad2);
+  sat::SolverAudit::numLearnedMut(bad2) += 1;
+  EXPECT_NO_THROW(bad2.garbageCollect());
+}
+
+// --- patch/engine contract checker -------------------------------------------
+
+benchgen::UnitSpec smallSpec() {
+  benchgen::UnitSpec spec;
+  spec.name = "check_unit";
+  spec.family = benchgen::Family::Adder;
+  spec.size_param = 4;
+  spec.num_targets = 2;
+  spec.seed = 11;
+  return spec;
+}
+
+TEST(PatchAudit, EngineResultSatisfiesContract) {
+  const EcoInstance inst = benchgen::generateUnit(smallSpec());
+  EcoOptions opt;
+  opt.num_threads = 1;
+  opt.check_level = Level::kStage;  // engine runs its own gates too
+  const PatchResult r = EcoEngine(opt).run(inst);
+  ASSERT_TRUE(r.success) << r.message;
+  check::PatchAuditOptions pao;
+  const AuditReport report = check::auditPatchContract(inst, r, pao);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_GT(report.checks_run, 0u);
+  // Failed results carry no contract.
+  PatchResult failed;
+  failed.success = false;
+  EXPECT_TRUE(check::auditPatchContract(inst, failed).ok());
+}
+
+TEST(PatchAudit, DetectsCostAndSizeMisreport) {
+  const EcoInstance inst = benchgen::generateUnit(smallSpec());
+  EcoOptions opt;
+  opt.num_threads = 1;
+  PatchResult r = EcoEngine(opt).run(inst);
+  ASSERT_TRUE(r.success) << r.message;
+
+  PatchResult bad_cost = r;
+  bad_cost.cost += 1.0;
+  AuditReport report = check::auditPatchContract(inst, bad_cost);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("cost-mismatch")) << report.summary();
+
+  PatchResult bad_size = r;
+  bad_size.size += 3;
+  report = check::auditPatchContract(inst, bad_size);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("size-mismatch")) << report.summary();
+}
+
+TEST(PatchAudit, DetectsIllegalBases) {
+  const EcoInstance inst = benchgen::generateUnit(smallSpec());
+  EcoOptions opt;
+  opt.num_threads = 1;
+  PatchResult r = EcoEngine(opt).run(inst);
+  ASSERT_TRUE(r.success) << r.message;
+  ASSERT_FALSE(r.base.empty());
+
+  PatchResult unknown = r;
+  unknown.base[0].name = "no_such_signal";
+  AuditReport report = check::auditPatchContract(inst, unknown);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("base-unknown") || report.hasRule("base-align"))
+      << report.summary();
+
+  // A base reading a target pseudo-PI closes a combinational loop.
+  PatchResult loop = r;
+  loop.base[0].name = inst.targetName(0);
+  loop.base[0].lit = inst.faulty.piLit(inst.targetPi(0));
+  report = check::auditPatchContract(inst, loop);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("base-loop")) << report.summary();
+
+  PatchResult bad_weight = r;
+  bad_weight.base[0].weight += 0.5;
+  report = check::auditPatchContract(inst, bad_weight);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("base-weight")) << report.summary();
+}
+
+TEST(PatchAudit, DetectsUndeclaredPatchOutput) {
+  const EcoInstance inst = benchgen::generateUnit(smallSpec());
+  EcoOptions opt;
+  opt.num_threads = 1;
+  PatchResult r = EcoEngine(opt).run(inst);
+  ASSERT_TRUE(r.success) << r.message;
+  r.patch.addPo(kFalse, "rogue_output");
+  const AuditReport report = check::auditPatchContract(inst, r);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.hasRule("po-targets")) << report.summary();
+}
+
+// --- engine checkpoints ------------------------------------------------------
+
+TEST(EngineAudit, StageCheckpointRejectsCorruptedInstance) {
+  EcoInstance inst = benchgen::generateUnit(smallSpec());
+  // Corrupt the faulty AIG's strash table; only an audited run notices.
+  auto& strash = AigAudit::strashMut(inst.faulty);
+  ASSERT_FALSE(strash.empty());
+  strash.erase(strash.begin());
+
+  EcoOptions unchecked;
+  unchecked.num_threads = 1;
+  unchecked.check_level = Level::kOff;
+  const PatchResult blind = EcoEngine(unchecked).run(inst);
+  EXPECT_TRUE(blind.success) << blind.message;  // strash unused in the run
+
+  EcoOptions checked = unchecked;
+  checked.check_level = Level::kStage;
+  const PatchResult caught = EcoEngine(checked).run(inst);
+  ASSERT_FALSE(caught.success);
+  EXPECT_EQ(caught.message.rfind("internal error: invariant audit", 0), 0u)
+      << caught.message;
+  EXPECT_NE(caught.audit_json.find("strash-missing"), std::string::npos)
+      << caught.audit_json;
+}
+
+TEST(EngineAudit, ParanoidRunPassesCleanInstance) {
+  const EcoInstance inst = benchgen::generateUnit(smallSpec());
+  EcoOptions opt;
+  opt.num_threads = 1;
+  opt.check_level = Level::kParanoid;
+  const PatchResult r = EcoEngine(opt).run(inst);
+  check::setGlobalLevel(Level::kOff);  // disarm the process-global hook
+  ASSERT_TRUE(r.success) << r.message;
+  EXPECT_TRUE(r.audit_json.empty());
+}
+
+// --- QA harness integration --------------------------------------------------
+
+TEST(QaAudit, HarnessAuditCatchesMisreportedCost) {
+  const EcoInstance inst = benchgen::generateUnit(smallSpec());
+  qa::CheckOptions options;
+  options.audit_level = Level::kStage;
+  options.plant_bug = qa::PlantedBug::MisreportCost;
+  const qa::InstanceVerdict verdict =
+      qa::checkInstance(inst, /*known_rectifiable=*/true, options);
+  ASSERT_FALSE(verdict.ok);
+  const bool contract_hit =
+      std::any_of(verdict.violations.begin(), verdict.violations.end(),
+                  [](const std::string& v) {
+                    return v.find("contract audit") != std::string::npos &&
+                           v.find("cost-mismatch") != std::string::npos;
+                  });
+  EXPECT_TRUE(contract_hit) << (verdict.violations.empty()
+                                    ? std::string("no violations")
+                                    : verdict.violations.front());
+}
+
+TEST(QaAudit, HarnessAuditPassesCleanRuns) {
+  const EcoInstance inst = benchgen::generateUnit(smallSpec());
+  qa::CheckOptions options;
+  options.audit_level = Level::kStage;
+  const qa::InstanceVerdict verdict =
+      qa::checkInstance(inst, /*known_rectifiable=*/true, options);
+  EXPECT_TRUE(verdict.ok) << (verdict.violations.empty()
+                                  ? std::string()
+                                  : verdict.violations.front());
+}
+
+// --- paranoid smoke over the regression corpus -------------------------------
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(CheckSmoke, ParanoidAuditOverRegressionCorpus) {
+  namespace fs = std::filesystem;
+  const fs::path corpus(ECO_CORPUS_DIR);
+  if (corpus.empty() || !fs::is_directory(corpus)) {
+    GTEST_SKIP() << "no corpus directory";
+  }
+  std::vector<fs::path> cases;
+  for (const auto& entry : fs::directory_iterator(corpus)) {
+    if (entry.is_directory() && fs::exists(entry.path() / "faulty.v")) {
+      cases.push_back(entry.path());
+    }
+  }
+  std::sort(cases.begin(), cases.end());
+  ASSERT_FALSE(cases.empty()) << "corpus directory holds no instances";
+  for (const fs::path& dir : cases) {
+    SCOPED_TRACE(dir.filename().string());
+    const EcoInstance inst = io::loadInstance(
+        slurp(dir / "faulty.v"), slurp(dir / "golden.v"),
+        slurp(dir / "weight.txt"), dir.filename().string());
+    EcoOptions opt;
+    opt.num_threads = 1;
+    opt.check_level = Level::kParanoid;
+    const PatchResult r = EcoEngine(opt).run(inst);
+    // Corpus instances need not be rectifiable, but a paranoid run must
+    // never trip its own invariants.
+    EXPECT_NE(r.message.rfind("internal error", 0), 0u) << r.message;
+    EXPECT_TRUE(r.audit_json.empty()) << r.audit_json;
+  }
+  check::setGlobalLevel(Level::kOff);
+}
+
+}  // namespace
+}  // namespace eco

@@ -17,6 +17,10 @@
 //   --out DIR         write shrunk reproducers under DIR (contest format)
 //   --no-shrink       report failures without shrinking
 //   --max-failures N  stop after N failures (default 1)
+//   --check[=LEVEL]   run the invariant-audit layer on every engine run:
+//                     bare --check audits at stage boundaries; --check=LEVEL
+//                     picks off|stage|paranoid (paranoid adds per-GC solver
+//                     audits)
 //   --progress N      progress line every N instances (default count/10)
 //   --heartbeat S     also emit a progress line after S silent seconds
 //                     (default 30; 0 disables)
@@ -32,6 +36,7 @@
 #include <fstream>
 #include <string>
 
+#include "check/check.h"
 #include "obs/trace.h"
 #include "qa/fuzz.h"
 
@@ -41,8 +46,9 @@ namespace {
   std::fprintf(stderr,
                "usage: eco_fuzz [--seed N] [--count N] [--threads N] "
                "[--plant-bug flip-po|misreport-cost] [--out DIR] "
-               "[--no-shrink] [--max-failures N] [--progress N] "
-               "[--heartbeat S] [--json FILE] [--trace FILE] [--quiet]\n");
+               "[--no-shrink] [--max-failures N] [--check[=LEVEL]] "
+               "[--progress N] [--heartbeat S] [--json FILE] [--trace FILE] "
+               "[--quiet]\n");
   std::exit(1);
 }
 
@@ -93,6 +99,12 @@ int main(int argc, char** argv) {
       opt.shrink = false;
     } else if (arg("--max-failures")) {
       opt.max_failures = static_cast<std::uint32_t>(parseU64(value()));
+    } else if (arg("--check")) {
+      opt.check.audit_level = check::Level::kStage;
+    } else if (std::strncmp(argv[i], "--check=", 8) == 0) {
+      const auto level = check::parseLevel(argv[i] + 8);
+      if (!level) usage();
+      opt.check.audit_level = *level;
     } else if (arg("--progress")) {
       progress = parseU64(value());
     } else if (arg("--heartbeat")) {
