@@ -23,6 +23,20 @@
 //                          eco/report_json.h for the schema)
 //   --trace FILE           record a Chrome trace_event JSON of the run,
 //                          viewable in chrome://tracing or Perfetto
+//   --status-fd N          write "ecopatch-status" JSON lines to file
+//                          descriptor N every 2 seconds and on SIGUSR1
+//                          (SIGUSR1 works even without --status-fd=stderr:
+//                          the emitter thread owns the write)
+//   --metrics-port N       serve GET /metrics (Prometheus text) and
+//                          GET /status (JSON) on 127.0.0.1:N for the
+//                          duration of the run; N=0 picks an ephemeral
+//                          port and prints it on stderr
+//   --postmortem FILE      dump a flight-recorder postmortem JSON to FILE
+//                          on a crash signal, invariant-audit failure, or
+//                          engine budget exhaustion
+//   --time-budget S        fail the run once it exceeds S wall-clock
+//                          seconds (checked at stage boundaries; 0 =
+//                          unlimited)
 //   --quiet                suppress the stage report
 //
 // Exit codes: 0 patched+verified, 1 usage/parse error, 2 unrectifiable.
@@ -40,6 +54,9 @@
 #include "eco/report_json.h"
 #include "io/instance_io.h"
 #include "io/verilog.h"
+#include "obs/flight_recorder.h"
+#include "obs/progress.h"
+#include "obs/stats_server.h"
 #include "obs/trace.h"
 
 namespace {
@@ -61,7 +78,9 @@ std::string readFile(const std::string& path) {
                "[-o patch.v] [--no-localization] [--no-cost-opt] "
                "[--no-minimize] [--itp-first] [--pi-only] [--watch N] "
                "[--rounds N] [--seed N] [--threads N] [--check[=LEVEL]] "
-               "[--json FILE] [--trace FILE] [--quiet]\n");
+               "[--json FILE] [--trace FILE] [--status-fd N] "
+               "[--metrics-port N] [--postmortem FILE] [--time-budget S] "
+               "[--quiet]\n");
   std::exit(1);
 }
 
@@ -83,14 +102,31 @@ std::uint64_t parseU64(const char* s) {
   return v;
 }
 
+double parseSeconds(const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !(v >= 0)) {
+    std::fprintf(stderr,
+                 "ecopatch: expected a non-negative number of seconds, "
+                 "got '%s'\n",
+                 s);
+    usage();
+  }
+  return v;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace eco;
 
   std::string f_path, g_path, w_path, out_path, json_path, trace_path;
+  std::string postmortem_path;
   EcoOptions opt;
   bool quiet = false;
+  int status_fd = -1;
+  bool serve_metrics = false;
+  std::uint16_t metrics_port = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -138,6 +174,15 @@ int main(int argc, char** argv) {
       json_path = next();
     } else if (a == "--trace") {
       trace_path = next();
+    } else if (a == "--status-fd") {
+      status_fd = static_cast<int>(parseU64(next()));
+    } else if (a == "--metrics-port") {
+      serve_metrics = true;
+      metrics_port = static_cast<std::uint16_t>(parseU64(next()));
+    } else if (a == "--postmortem") {
+      postmortem_path = next();
+    } else if (a == "--time-budget") {
+      opt.time_budget_seconds = parseSeconds(next());
     } else if (a == "--quiet") {
       quiet = true;
     } else {
@@ -156,8 +201,30 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (!postmortem_path.empty()) {
+    obs::setPostmortemPath(postmortem_path.c_str());
+    obs::installCrashHandlers();
+  }
+  // SIGUSR1 always asks for a status line; without --status-fd the emitter
+  // defaults to stderr so a plain `kill -USR1` is never a silent no-op.
+  obs::installStatusSignalHandler();
+  obs::startStatusEmitter(status_fd >= 0 ? status_fd : 2,
+                          status_fd >= 0 ? 2.0 : 0.0);
+  obs::StatsServer stats_server;
+  if (serve_metrics) {
+    std::string server_error;
+    if (!stats_server.start(metrics_port, &server_error)) {
+      std::fprintf(stderr, "ecopatch: %s\n", server_error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "ecopatch: serving http://127.0.0.1:%u/metrics\n",
+                 static_cast<unsigned>(stats_server.port()));
+  }
+
   if (!trace_path.empty()) obs::startTrace();
   const PatchResult r = EcoEngine(opt).run(inst);
+  obs::stopStatusEmitter();
+  stats_server.stop();
   if (!trace_path.empty()) {
     const obs::TraceDump dump = obs::stopTrace();
     std::string trace_error;

@@ -1,0 +1,26 @@
+#include "base/check.h"
+
+#include "obs/flight_recorder.h"
+
+namespace eco {
+
+void checkFailed(const char* expr, const char* file, int line,
+                 const char* msg) {
+  std::string what = "ECO_CHECK failed: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  if (msg[0]) {
+    what += " — ";
+    what += msg;
+  }
+  // No-op unless a postmortem path is configured (ecopatch_cli
+  // --postmortem, eco_fuzz --postmortem), so EXPECT_THROW-style tests see
+  // no side effects.
+  obs::dumpPostmortem("check-error", what.c_str());
+  throw CheckError(what);
+}
+
+}  // namespace eco

@@ -20,20 +20,12 @@ class CheckError : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
-[[noreturn]] inline void checkFailed(const char* expr, const char* file, int line,
-                                     const char* msg) {
-  std::string what = "ECO_CHECK failed: ";
-  what += expr;
-  what += " at ";
-  what += file;
-  what += ":";
-  what += std::to_string(line);
-  if (msg[0]) {
-    what += " — ";
-    what += msg;
-  }
-  throw CheckError(what);
-}
+/// Out of line (base/check.cpp) so the throw site can dump a flight
+/// recorder postmortem while the failing stage's labels are still set —
+/// by the time an enclosing catch runs, stack unwinding has already
+/// restored them.
+[[noreturn]] void checkFailed(const char* expr, const char* file, int line,
+                              const char* msg);
 
 }  // namespace eco
 

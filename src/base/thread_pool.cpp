@@ -5,6 +5,7 @@
 #include <string>
 
 #include "base/check.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace eco {
@@ -85,8 +86,12 @@ ThreadPool::Task ThreadPool::stealFrom(unsigned index) {
 void ThreadPool::workerMain(unsigned index) {
   // Label the worker in trace exports; events recorded by tasks running
   // here land in this thread's obs buffer and show up as their own trace
-  // row (the per-thread view of the parallel pipeline).
-  obs::setThreadName("pool-" + std::to_string(index));
+  // row (the per-thread view of the parallel pipeline). The CPU-clock
+  // registration lets resource snapshots attribute CPU per worker for as
+  // long as the pool lives.
+  const std::string worker_name = "pool-" + std::to_string(index);
+  obs::setThreadName(worker_name);
+  obs::ThreadCpuRegistration cpu_clock(worker_name);
   for (;;) {
     Task task = popLocal(index);
     if (!task) task = stealFrom(index);

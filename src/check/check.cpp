@@ -7,6 +7,7 @@
 
 #include "base/check.h"
 #include "check/sat_audit.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "sat/solver.h"
 
@@ -121,6 +122,9 @@ void setGlobalLevel(Level level) {
 Level globalLevel() { return g_level.load(std::memory_order_acquire); }
 
 void raise(const AuditReport& report) {
+  // Dump at the throw site (see base/check.cpp): the in-flight stage
+  // labels are still live here, gone once unwinding reaches a catch.
+  obs::dumpPostmortem("audit-failure", report.summary().c_str());
   throw CheckError(report.summary() + "\n" + report.toJson());
 }
 

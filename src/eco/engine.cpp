@@ -20,7 +20,10 @@
 #include "eco/relations.h"
 #include "eco/verify.h"
 #include "fraig/fraig.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace eco {
@@ -76,15 +79,58 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
   // recording) and populates the pre-existing PatchResult wall-clock
   // fields, so the human-readable report needs no separate timers.
   obs::Span run_span("eco.run", obs::Span::Mode::kTimed);
+  // Live status: "engine.stage" tracks the in-flight stage; nested
+  // ProgressScopes restore the enclosing value, so a postmortem dumped
+  // mid-stage (CheckError, fatal signal, budget) names where the run was.
+  obs::ProgressScope run_scope("engine.stage", "run");
   const std::uint64_t sat_conflicts0 = obs::counterValue("sat.conflicts");
+  const obs::ResourceUsage run_usage0 = obs::currentUsage();
   PatchResult result;
   // Process-wide SAT effort attributed to this run; exact for a single
   // engine, an upper bound when several engines run concurrently.
   const auto finishRun = [&] {
     result.sat_conflicts = obs::counterValue("sat.conflicts") - sat_conflicts0;
     result.seconds = run_span.stop();
+    const obs::ResourceUsage used = obs::usageSince(run_usage0);
+    result.cpu_seconds = used.cpu_seconds;
+    result.peak_rss_bytes = used.peak_rss_bytes;
+    result.alloc_count = used.alloc_count;
+    result.alloc_bytes = used.alloc_bytes;
+    for (const auto& row : obs::snapshotResources().threads) {
+      result.thread_cpu_seconds.emplace_back(row.name, row.cpu_seconds);
+    }
     ECO_OBS_COUNT("eco.runs", 1);
-    ECO_OBS_COUNT(result.success ? "eco.runs_ok" : "eco.runs_failed", 1);
+    // Interned directly (not via ECO_OBS_COUNT): the macro's static
+    // reference would bind to whichever outcome happened first.
+    const char* outcome = result.success ? "eco.runs_ok" : "eco.runs_failed";
+    obs::counter(outcome).add(1);
+    obs::flightRecordCount(outcome, 1);
+  };
+  // Per-stage resource attribution (run report v2): one entry per stage
+  // actually executed, in run order.
+  const auto recordStage = [&](const char* stage,
+                               const obs::ResourceUsage& begin) {
+    const obs::ResourceUsage d = obs::usageSince(begin);
+    StageResource sr;
+    sr.stage = stage;
+    sr.cpu_seconds = d.cpu_seconds;
+    sr.alloc_count = d.alloc_count;
+    sr.alloc_bytes = d.alloc_bytes;
+    sr.peak_rss_bytes = d.peak_rss_bytes;
+    result.stage_resources.push_back(std::move(sr));
+  };
+  // Wall-clock budget, checked at stage boundaries only (a stage in
+  // flight is never interrupted, keeping results deterministic for a
+  // given budget outcome).
+  const auto budgetExhausted = [&](const char* after_stage) -> bool {
+    if (options_.time_budget_seconds <= 0) return false;
+    if (run_span.seconds() < options_.time_budget_seconds) return false;
+    result.success = false;
+    result.message = std::string("engine time budget exhausted after stage ") +
+                     after_stage;
+    ECO_OBS_COUNT("eco.budget_exhausted", 1);
+    obs::dumpPostmortem("budget", result.message.c_str());
+    return true;
   };
   // Invariant-audit checkpoints (DESIGN.md "Static analysis & invariant
   // audit"). A failed audit is an engine defect, reported like a failed
@@ -106,6 +152,7 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
   };
 
   const std::uint32_t alpha = instance.numTargets();
+  ECO_OBS_GAUGE_SET("eco.targets", alpha);
   if (alpha == 0) {
     result.success = false;
     result.message = "instance has no targets";
@@ -133,19 +180,28 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
   std::vector<TargetCluster> clusters;
   {
     obs::Span s("eco.setup");
+    obs::ProgressScope stage("engine.stage", "setup");
+    const obs::ResourceUsage u0 = obs::currentUsage();
     ws = buildWorkspace(instance);
     clusters = clusterTargets(instance);
+    recordStage("setup", u0);
   }
   result.num_clusters = static_cast<std::uint32_t>(clusters.size());
+  ECO_OBS_GAUGE_SET("eco.clusters", result.num_clusters);
 
   if (check_level >= check::Level::kStage) {
     obs::Span s("eco.audit_setup");
+    obs::ProgressScope stage("engine.stage", "audit_setup");
     if (auditFailed(check::auditAig(instance.faulty, "setup.faulty")) ||
         auditFailed(check::auditAig(instance.golden, "setup.golden")) ||
         auditFailed(check::auditAig(ws.w, "setup.workspace"))) {
       finishRun();
       return result;
     }
+  }
+  if (budgetExhausted("setup")) {
+    finishRun();
+    return result;
   }
 
   // Outputs no target can influence must already match the golden circuit.
@@ -160,7 +216,10 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
     }
     if (!untouched.empty()) {
       obs::Span s("eco.verify_untouched", obs::Span::Mode::kTimed);
+      obs::ProgressScope stage("engine.stage", "verify_untouched");
+      const obs::ResourceUsage u0 = obs::currentUsage();
       VerifyOutcome v = verifyUntouchedOutputs(ws, untouched);
+      recordStage("verify_untouched", u0);
       result.verify_seconds += s.stop();
       if (!v.equivalent) {
         result.success = false;
@@ -178,6 +237,8 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
   std::optional<fraig::EquivClasses> classes;
   if (options_.use_localization) {
     obs::Span s("eco.fraig", obs::Span::Mode::kTimed);
+    obs::ProgressScope stage("engine.stage", "fraig");
+    const obs::ResourceUsage u0 = obs::currentUsage();
     std::vector<Lit> roots = ws.f_roots;
     roots.insert(roots.end(), ws.g_roots.begin(), ws.g_roots.end());
     fraig::Options fo;
@@ -186,16 +247,22 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
     fraig::Stats fstats;
     classes = fraig::computeEquivClasses(ws.w, roots, fo, &fstats);
     s.arg("sat_queries", fstats.sat_queries);
+    recordStage("fraig", u0);
     result.fraig_seconds = s.stop();
     result.fraig_sat_queries = fstats.sat_queries;
     result.fraig_rounds = fstats.rounds;
     if (check_level >= check::Level::kStage) {
       obs::Span audit_span("eco.audit_fraig");
+      obs::ProgressScope audit_stage("engine.stage", "audit_fraig");
       if (auditFailed(check::auditAig(ws.w, "fraig.workspace"))) {
         finishRun();
         return result;
       }
     }
+  }
+  if (budgetExhausted("fraig")) {
+    finishRun();
+    return result;
   }
 
   std::vector<Candidate> candidates = collectCandidates(instance, ws);
@@ -209,6 +276,11 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
   // are dispatched to the pool; results are merged in cluster-index order
   // below so the output is identical regardless of the worker count.
   obs::Span patchgen_span("eco.patchgen", obs::Span::Mode::kTimed);
+  // optional<> because the stage spans two statement blocks; reset()
+  // closes it exactly where the span stops.
+  std::optional<obs::ProgressScope> patchgen_scope;
+  patchgen_scope.emplace("engine.stage", "patchgen");
+  const obs::ResourceUsage patchgen_usage0 = obs::currentUsage();
   std::vector<TargetPatch> patches(alpha);
   {
     std::vector<ClusterPatchResult> cluster_results(clusters.size());
@@ -256,10 +328,17 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
       for (std::size_t i = 0; i < patches.size(); ++i) minimizeOne(i);
     }
   }
+  recordStage("patchgen", patchgen_usage0);
   result.patchgen_seconds = patchgen_span.stop();
+  patchgen_scope.reset();
+  if (budgetExhausted("patchgen")) {
+    finishRun();
+    return result;
+  }
 
   if (check_level >= check::Level::kParanoid) {
     obs::Span s("eco.audit_patchgen");
+    obs::ProgressScope stage("engine.stage", "audit_patchgen");
     for (std::uint32_t k = 0; k < alpha; ++k) {
       if (auditFailed(check::auditAig(patches[k].fn,
                                       "patchgen.target" + std::to_string(k)))) {
@@ -274,7 +353,10 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
   // not rectifiable through the given targets.
   {
     obs::Span s("eco.verify_initial", obs::Span::Mode::kTimed);
+    obs::ProgressScope stage("engine.stage", "verify_initial");
+    const obs::ResourceUsage u0 = obs::currentUsage();
     VerifyOutcome v = verifyPatches(ws, patches);
+    recordStage("verify_initial", u0);
     result.verify_seconds += s.stop();
     if (!v.equivalent) {
       result.success = false;
@@ -288,11 +370,21 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
   assembleResult(instance, patches, result);
   result.initial_cost = result.cost;
   result.initial_size = result.size;
+  if (budgetExhausted("verify_initial")) {
+    // The initial patch verified, so the budgeted result is still a
+    // correct (just unoptimized) patch; report it as such.
+    result.success = true;
+    result.message += " (returning unoptimized patch)";
+    finishRun();
+    return result;
+  }
 
   // Cost optimization (Sec. 6): per-target rebasing with Watch/Hold/CPB
   // base selection, holding the other targets' patches fixed.
   if (options_.use_cost_opt) {
     obs::Span opt_span("eco.opt", obs::Span::Mode::kTimed);
+    obs::ProgressScope stage("engine.stage", "opt");
+    const obs::ResourceUsage opt_usage0 = obs::currentUsage();
     // Cheapest-first candidate cap; per-target bases are appended below.
     std::vector<std::uint32_t> cheap_order(candidates.size());
     for (std::uint32_t i = 0; i < candidates.size(); ++i) cheap_order[i] = i;
@@ -317,6 +409,7 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
     }
 
     for (std::uint32_t round = 0; round < options_.opt_rounds; ++round) {
+      ECO_OBS_GAUGE_SET("eco.opt_round", round + 1);
       bool improved = false;
       for (std::uint32_t k = 0; k < alpha; ++k) {
         const TargetCluster& cluster = *cluster_of[k];
@@ -413,9 +506,11 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
       }
       if (!improved) break;
     }
+    recordStage("opt", opt_usage0);
     result.opt_seconds = opt_span.stop();
     if (check_level >= check::Level::kStage) {
       obs::Span s("eco.audit_opt");
+      obs::ProgressScope audit_stage("engine.stage", "audit_opt");
       if (auditFailed(check::auditAig(ws.w, "opt.workspace"))) {
         finishRun();
         return result;
@@ -439,7 +534,10 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
   // QA harness can catch, log, and shrink it.
   {
     obs::Span s("eco.verify_final", obs::Span::Mode::kTimed);
+    obs::ProgressScope stage("engine.stage", "verify_final");
+    const obs::ResourceUsage u0 = obs::currentUsage();
     VerifyOutcome v = verifyPatches(ws, patches);
+    recordStage("verify_final", u0);
     result.verify_seconds += s.stop();
     if (!v.equivalent) {
       result.success = false;
@@ -459,6 +557,7 @@ PatchResult EcoEngine::run(const EcoInstance& instance) const {
   // contract before it is handed out as a success.
   if (check_level >= check::Level::kStage) {
     obs::Span s("eco.audit_final");
+    obs::ProgressScope stage("engine.stage", "audit_final");
     check::PatchAuditOptions pao;
     pao.require_pruned_inputs = options_.minimize_patches;
     if (auditFailed(

@@ -56,6 +56,19 @@ struct BaseRef {
   bool inverted = false;
 };
 
+/// Resource delta attributed to one engine stage (run report v2). CPU
+/// and allocation figures are process-wide deltas over the stage window
+/// (exact for a single engine, an upper bound with concurrent engines);
+/// peak_rss_bytes is the monotonic process high-water mark observed at
+/// stage end.
+struct StageResource {
+  std::string stage;
+  double cpu_seconds = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t peak_rss_bytes = 0;
+};
+
 struct PatchResult {
   bool success = false;
   std::string message;
@@ -93,6 +106,18 @@ struct PatchResult {
   double verify_seconds = 0;            ///< SAT verification gates
   std::uint64_t fraig_sat_queries = 0;  ///< solve() calls in the FRAIG stage
   std::uint32_t fraig_rounds = 0;       ///< FRAIG refinement rounds
+
+  // Resource attribution (run report v2 "resources" section). Filled at
+  // the end of run(); alloc counters are 0 when the obs allocation hook
+  // is compiled out (sanitizers, ECO_OBS_DISABLED).
+  std::vector<StageResource> stage_resources;  ///< stage entry order = run order
+  std::uint64_t peak_rss_bytes = 0;            ///< process peak at run end
+  double cpu_seconds = 0;                      ///< process CPU over the run
+  std::uint64_t alloc_count = 0;               ///< operator new calls in the run
+  std::uint64_t alloc_bytes = 0;               ///< bytes requested in the run
+  /// Per-thread CPU seconds of threads registered at run end ("main",
+  /// "pool-0", ...) — the pool is still alive at capture time.
+  std::vector<std::pair<std::string, double>> thread_cpu_seconds;
 };
 
 struct EcoOptions {
@@ -131,6 +156,12 @@ struct EcoOptions {
   /// checkpoints at kStage, plus per-GC solver audits and per-patch AIG
   /// audits at kParanoid. Defaults to the ECO_CHECK environment variable.
   check::Level check_level = check::levelFromEnv();
+  /// Wall-clock budget for one run in seconds; 0 = unlimited. Checked at
+  /// stage boundaries (a stage in flight is never interrupted): when
+  /// exceeded the run fails with a "time budget exhausted" message and,
+  /// if a postmortem path is configured, dumps a flight-recorder
+  /// postmortem with reason "budget".
+  double time_budget_seconds = 0;
 };
 
 }  // namespace eco

@@ -1,5 +1,6 @@
 #include "eco/report_json.h"
 
+#include <iterator>
 #include <string_view>
 
 #include "obs/json.h"
@@ -10,9 +11,10 @@ namespace {
 
 using obs::json::Value;
 
-/// Required keys of the v1 schema, with the Kind each must carry. `success`
-/// and the numeric result block are the contract the bench trajectory and
-/// CI smoke tests rely on; everything else may be extended freely.
+/// Required keys common to every schema version, with the Kind each must
+/// carry. `success` and the numeric result block are the contract the
+/// bench trajectory and CI smoke tests rely on; everything else may be
+/// extended freely.
 struct RequiredKey {
   const char* path;  ///< "section.key" (one level deep) or top-level key
   Value::Kind kind;
@@ -36,6 +38,16 @@ constexpr RequiredKey kRequired[] = {
     {"stages.patchgen_seconds", Value::Kind::Number},
     {"stages.opt_seconds", Value::Kind::Number},
     {"stages.verify_seconds", Value::Kind::Number},
+};
+
+/// Additionally required from v2 on: the resource-attribution section.
+constexpr RequiredKey kRequiredV2[] = {
+    {"resources.peak_rss_bytes", Value::Kind::Number},
+    {"resources.cpu_seconds", Value::Kind::Number},
+    {"resources.alloc_count", Value::Kind::Number},
+    {"resources.alloc_bytes", Value::Kind::Number},
+    {"resources.stages", Value::Kind::Array},
+    {"resources.threads", Value::Kind::Array},
 };
 
 const char* kindName(Value::Kind k) {
@@ -95,6 +107,37 @@ std::string writeJsonReport(const EcoInstance& instance, const PatchResult& r,
   w.key("fraig_rounds"); w.value(static_cast<std::uint64_t>(r.fraig_rounds));
   w.endObject();
 
+  // v2: resource attribution. Allocation counters read 0 when the obs
+  // allocation hook is compiled out (sanitizers, ECO_OBS_DISABLED).
+  w.key("resources");
+  w.beginObject();
+  w.key("peak_rss_bytes"); w.value(r.peak_rss_bytes);
+  w.key("cpu_seconds"); w.valueFixed(r.cpu_seconds, 6);
+  w.key("alloc_count"); w.value(r.alloc_count);
+  w.key("alloc_bytes"); w.value(r.alloc_bytes);
+  w.key("stages");
+  w.beginArray();
+  for (const StageResource& sr : r.stage_resources) {
+    w.beginObject();
+    w.key("stage"); w.value(sr.stage);
+    w.key("cpu_seconds"); w.valueFixed(sr.cpu_seconds, 6);
+    w.key("alloc_count"); w.value(sr.alloc_count);
+    w.key("alloc_bytes"); w.value(sr.alloc_bytes);
+    w.key("peak_rss_bytes"); w.value(sr.peak_rss_bytes);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("threads");
+  w.beginArray();
+  for (const auto& [name, cpu] : r.thread_cpu_seconds) {
+    w.beginObject();
+    w.key("name"); w.value(name);
+    w.key("cpu_seconds"); w.valueFixed(cpu, 6);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+
   if (options.include_base) {
     w.key("base");
     w.beginArray();
@@ -131,36 +174,56 @@ bool validateJsonReport(const std::string& json, std::string* error) {
     return fail("run report root must be an object");
   }
 
-  for (const RequiredKey& req : kRequired) {
-    const std::string_view path(req.path);
-    const std::size_t dot = path.find('.');
-    const Value* v = nullptr;
-    if (dot == std::string_view::npos) {
-      v = root.find(std::string(path));
-    } else {
-      const Value* section = root.find(std::string(path.substr(0, dot)));
-      if (section == nullptr || section->kind != Value::Kind::Object) {
-        return fail("run report missing section '" +
-                    std::string(path.substr(0, dot)) + "'");
+  const auto checkKeys = [&](const RequiredKey* keys, std::size_t n,
+                             std::string* key_error) -> bool {
+    for (std::size_t i = 0; i < n; ++i) {
+      const RequiredKey& req = keys[i];
+      const std::string_view path(req.path);
+      const std::size_t dot = path.find('.');
+      const Value* v = nullptr;
+      if (dot == std::string_view::npos) {
+        v = root.find(std::string(path));
+      } else {
+        const Value* section = root.find(std::string(path.substr(0, dot)));
+        if (section == nullptr || section->kind != Value::Kind::Object) {
+          *key_error = "run report missing section '" +
+                       std::string(path.substr(0, dot)) + "'";
+          return false;
+        }
+        v = section->find(std::string(path.substr(dot + 1)));
       }
-      v = section->find(std::string(path.substr(dot + 1)));
+      if (v == nullptr) {
+        *key_error =
+            "run report missing required key '" + std::string(path) + "'";
+        return false;
+      }
+      if (v->kind != req.kind) {
+        *key_error = "run report key '" + std::string(path) + "' must be " +
+                     kindName(req.kind) + ", got " + kindName(v->kind);
+        return false;
+      }
     }
-    if (v == nullptr) {
-      return fail("run report missing required key '" + std::string(path) + "'");
-    }
-    if (v->kind != req.kind) {
-      return fail("run report key '" + std::string(path) + "' must be " +
-                  kindName(req.kind) + ", got " + kindName(v->kind));
-    }
+    return true;
+  };
+
+  std::string key_error;
+  if (!checkKeys(kRequired, std::size(kRequired), &key_error)) {
+    return fail(key_error);
   }
 
   const Value* schema = root.find("schema");
   if (schema->string != kRunReportSchema) {
     return fail("unexpected schema name '" + schema->string + "'");
   }
+  // Backward-compatible validation: v1 documents (pre-resources) stay
+  // valid; v2 additionally requires the resources section.
   const double version = root.find("schema_version")->number;
-  if (version != static_cast<double>(kRunReportSchemaVersion)) {
+  if (version != 1 && version != static_cast<double>(kRunReportSchemaVersion)) {
     return fail("unsupported schema_version " + std::to_string(version));
+  }
+  if (version >= 2 &&
+      !checkKeys(kRequiredV2, std::size(kRequiredV2), &key_error)) {
+    return fail(key_error);
   }
   return true;
 }

@@ -16,7 +16,10 @@
 namespace eco {
 
 inline constexpr const char* kRunReportSchema = "ecopatch-run-report";
-inline constexpr int kRunReportSchemaVersion = 1;
+/// v2 adds the required "resources" section (per-stage CPU/allocation
+/// attribution, process peak RSS, per-thread CPU). The validator still
+/// accepts v1 documents, which predate it.
+inline constexpr int kRunReportSchemaVersion = 2;
 
 struct RunReportOptions {
   /// Embed a snapshot of the global obs metrics registry. Process-wide:

@@ -10,6 +10,7 @@
 #include "base/thread_pool.h"
 #include "cnf/cnf.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "sat/solver.h"
 #include "sim/sim.h"
@@ -188,6 +189,7 @@ EquivClasses computeEquivClasses(const Aig& aig, std::span<const Lit> roots,
 
   for (std::uint32_t round = 0; round < options.max_rounds; ++round) {
     ++local.rounds;
+    ECO_OBS_GAUGE_SET("fraig.round", round + 1);
     obs::Span round_span("fraig.round");
     round_span.arg("round", round);
     const sim::PatternSet values = sim::simulateAll(aig, patterns);

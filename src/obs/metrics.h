@@ -134,23 +134,36 @@ struct MetricsSnapshot {
 /// Snapshot of every registered metric, sorted by name.
 MetricsSnapshot snapshotMetrics();
 
+/// Flight-recorder hook (defined in flight_recorder.cpp): the update
+/// macros below mirror every metric delta into the calling thread's
+/// postmortem ring. Declared here so metrics.h stays free of the
+/// flight-recorder include.
+void flightRecordCount(const char* name, std::uint64_t n);
+
 /// Writes the snapshot as {"counters": {...}, "histograms": {...}}.
 void writeMetricsJson(JsonWriter& w, const MetricsSnapshot& snapshot);
 
 // Interned-once update macros; the do/while swallows the trailing
-// semicolon and the disabled form does not evaluate its arguments.
+// semicolon and the disabled form does not evaluate its arguments. Each
+// update is also mirrored into the flight recorder's per-thread ring
+// (name must therefore be a static-storage string, which the interning
+// contract already required in practice).
 #if ECO_OBS_ENABLED
 #define ECO_OBS_COUNT(name, n)                                        \
   do {                                                                \
     static ::eco::obs::Counter& eco_obs_counter_ =                    \
         ::eco::obs::counter(name);                                    \
-    eco_obs_counter_.add(n);                                          \
+    const std::uint64_t eco_obs_n_ = (n);                             \
+    eco_obs_counter_.add(eco_obs_n_);                                 \
+    ::eco::obs::flightRecordCount(name, eco_obs_n_);                  \
   } while (0)
 #define ECO_OBS_OBSERVE(name, v)                                      \
   do {                                                                \
     static ::eco::obs::Histogram& eco_obs_histogram_ =                \
         ::eco::obs::histogram(name);                                  \
-    eco_obs_histogram_.observe(v);                                    \
+    const std::uint64_t eco_obs_v_ = (v);                             \
+    eco_obs_histogram_.observe(eco_obs_v_);                           \
+    ::eco::obs::flightRecordCount(name, eco_obs_v_);                  \
   } while (0)
 #else
 #define ECO_OBS_COUNT(name, n) \

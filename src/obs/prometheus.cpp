@@ -1,0 +1,167 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/resource.h"
+
+namespace eco::obs {
+namespace {
+
+void appendU64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void appendI64(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+void appendDouble(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+void appendType(std::string& out, std::string_view name, const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+std::string exportedName(std::string_view registry_name, const char* suffix) {
+  std::string name = "ecopatch_";
+  appendPrometheusName(name, registry_name);
+  name += suffix;
+  return name;
+}
+
+}  // namespace
+
+void appendPrometheusLabelEscaped(std::string& out, std::string_view v) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+void appendPrometheusName(std::string& out, std::string_view name) {
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+}
+
+std::string prometheusText() {
+  std::string out;
+  const MetricsSnapshot metrics = snapshotMetrics();
+  const StatusSnapshot status = snapshotStatus();
+  const ResourceSnapshot res = snapshotResources();
+
+  for (const auto& row : metrics.counters) {
+    const std::string name = exportedName(row.name, "_total");
+    appendType(out, name, "counter");
+    out += name;
+    out += ' ';
+    appendU64(out, row.value);
+    out += '\n';
+  }
+
+  for (const auto& row : metrics.histograms) {
+    const std::string name = exportedName(row.name, "");
+    appendType(out, name, "histogram");
+    // Registry buckets carry inclusive power-of-two lower bounds; the
+    // exposition needs cumulative counts up to an inclusive upper bound:
+    // lower 0 holds exact zeros (le="0"), lower L holds [L, 2L).
+    std::uint64_t cumulative = 0;
+    for (const auto& [lower, count] : row.buckets) {
+      cumulative += count;
+      out += name;
+      out += "_bucket{le=\"";
+      appendU64(out, lower == 0 ? 0 : lower * 2 - 1);
+      out += "\"} ";
+      appendU64(out, cumulative);
+      out += '\n';
+    }
+    out += name;
+    out += "_bucket{le=\"+Inf\"} ";
+    appendU64(out, row.count);
+    out += '\n';
+    out += name;
+    out += "_sum ";
+    appendU64(out, row.sum);
+    out += '\n';
+    out += name;
+    out += "_count ";
+    appendU64(out, row.count);
+    out += '\n';
+  }
+
+  for (const auto& row : status.gauges) {
+    const std::string name = exportedName(row.name, "");
+    appendType(out, name, "gauge");
+    out += name;
+    out += ' ';
+    appendI64(out, row.value);
+    out += '\n';
+  }
+
+  if (!status.labels.empty()) {
+    appendType(out, "ecopatch_status_info", "gauge");
+    for (const auto& row : status.labels) {
+      out += "ecopatch_status_info{slot=\"";
+      appendPrometheusLabelEscaped(out, row.slot);
+      out += "\",value=\"";
+      appendPrometheusLabelEscaped(out, row.value);
+      out += "\"} 1\n";
+    }
+  }
+
+  appendType(out, "ecopatch_peak_rss_bytes", "gauge");
+  out += "ecopatch_peak_rss_bytes ";
+  appendU64(out, res.peak_rss_bytes);
+  out += '\n';
+  appendType(out, "ecopatch_cpu_seconds_total", "counter");
+  out += "ecopatch_cpu_seconds_total ";
+  appendDouble(out, res.cpu_seconds);
+  out += '\n';
+  appendType(out, "ecopatch_alloc_total", "counter");
+  out += "ecopatch_alloc_total ";
+  appendU64(out, res.alloc_count);
+  out += '\n';
+  appendType(out, "ecopatch_alloc_bytes_total", "counter");
+  out += "ecopatch_alloc_bytes_total ";
+  appendU64(out, res.alloc_bytes);
+  out += '\n';
+  appendType(out, "ecopatch_thread_cpu_seconds_total", "counter");
+  for (const auto& row : res.threads) {
+    out += "ecopatch_thread_cpu_seconds_total{thread=\"";
+    appendPrometheusLabelEscaped(out, row.name);
+    out += "\"} ";
+    appendDouble(out, row.cpu_seconds);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace eco::obs

@@ -1,0 +1,29 @@
+#pragma once
+// Prometheus text exposition (format 0.0.4) of the obs registries:
+// counters (`<name>_total`), histograms (cumulative `_bucket{le=...}`
+// plus `_sum`/`_count`), live-status gauges, label slots (as
+// `ecopatch_status_info{slot=...,value=...} 1` series), and the process
+// resource summary. Metric names are the registry's dot-separated names
+// with dots mapped to underscores under an `ecopatch_` prefix
+// ("sat.conflicts" -> "ecopatch_sat_conflicts_total"). Served by
+// obs::StatsServer at GET /metrics; valid to scrape in ECO_OBS_DISABLED
+// builds too (only the resource series remain).
+
+#include <string>
+#include <string_view>
+
+namespace eco::obs {
+
+/// Full exposition document. Each metric is preceded by its `# TYPE`
+/// line; series within a metric are ordered by name.
+std::string prometheusText();
+
+/// Appends `v` escaped for a Prometheus label value (backslash, double
+/// quote, and newline escapes), without the surrounding quotes.
+void appendPrometheusLabelEscaped(std::string& out, std::string_view v);
+
+/// Appends `name` sanitized to the Prometheus metric-name alphabet
+/// ([a-zA-Z0-9_:]; every other byte becomes '_').
+void appendPrometheusName(std::string& out, std::string_view name);
+
+}  // namespace eco::obs

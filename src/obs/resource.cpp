@@ -1,0 +1,215 @@
+#include "obs/resource.h"
+
+#include <pthread.h>
+#include <sys/resource.h>
+#include <time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+
+#include "obs/json.h"
+
+// The allocation hook replaces global operator new/delete with counting
+// wrappers around malloc/free. Sanitizer builds keep the sanitizer's own
+// interceptors (replacing them would break leak/race bookkeeping), and
+// ECO_OBS_DISABLED builds compile the hook out entirely.
+#if ECO_OBS_ENABLED && !defined(__SANITIZE_ADDRESS__) && \
+    !defined(__SANITIZE_THREAD__)
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define ECO_OBS_ALLOC_HOOKS 0
+#else
+#define ECO_OBS_ALLOC_HOOKS 1
+#endif
+#else
+#define ECO_OBS_ALLOC_HOOKS 1
+#endif
+#else
+#define ECO_OBS_ALLOC_HOOKS 0
+#endif
+
+namespace {
+
+// File-scope (not inside eco::obs) so the operator new replacements at
+// the bottom of this file can reach them.
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+}  // namespace
+
+namespace eco::obs {
+namespace {
+
+double clockSeconds(clockid_t clock) {
+  struct timespec ts;
+  if (clock_gettime(clock, &ts) != 0) return 0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Registered per-thread CPU clocks. Leaked singleton: registrations are
+/// RAII-scoped to their threads, but a snapshot may race static teardown.
+struct ThreadClockRegistry {
+  struct Entry {
+    std::uint64_t id = 0;
+    std::string name;
+    clockid_t clock{};
+  };
+  std::mutex mutex;
+  std::vector<Entry> entries;
+  std::uint64_t next_id = 1;
+};
+
+ThreadClockRegistry& threadClocks() {
+  static ThreadClockRegistry* r = new ThreadClockRegistry();
+  return *r;
+}
+
+}  // namespace
+
+std::uint64_t peakRssBytes() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux.
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+}
+
+double processCpuSeconds() { return clockSeconds(CLOCK_PROCESS_CPUTIME_ID); }
+
+double threadCpuSeconds() { return clockSeconds(CLOCK_THREAD_CPUTIME_ID); }
+
+std::uint64_t allocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t allocBytes() {
+  return g_alloc_bytes.load(std::memory_order_relaxed);
+}
+
+ThreadCpuRegistration::ThreadCpuRegistration(std::string name) {
+  clockid_t clock;
+  if (pthread_getcpuclockid(pthread_self(), &clock) != 0) return;
+  ThreadClockRegistry& reg = threadClocks();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  id_ = reg.next_id++;
+  reg.entries.push_back({id_, std::move(name), clock});
+}
+
+ThreadCpuRegistration::~ThreadCpuRegistration() {
+  if (id_ == 0) return;
+  ThreadClockRegistry& reg = threadClocks();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto it = reg.entries.begin(); it != reg.entries.end(); ++it) {
+    if (it->id == id_) {
+      reg.entries.erase(it);
+      break;
+    }
+  }
+}
+
+ResourceSnapshot snapshotResources() {
+  ResourceSnapshot snap;
+  snap.peak_rss_bytes = peakRssBytes();
+  snap.cpu_seconds = processCpuSeconds();
+  snap.alloc_count = allocCount();
+  snap.alloc_bytes = allocBytes();
+  ThreadClockRegistry& reg = threadClocks();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  snap.threads.reserve(reg.entries.size());
+  for (const auto& entry : reg.entries) {
+    struct timespec ts;
+    // EINVAL when the thread exited without unregistering; skip it.
+    if (clock_gettime(entry.clock, &ts) != 0) continue;
+    snap.threads.push_back(
+        {entry.name, static_cast<double>(ts.tv_sec) +
+                         static_cast<double>(ts.tv_nsec) * 1e-9});
+  }
+  std::sort(snap.threads.begin(), snap.threads.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return snap;
+}
+
+void writeResourceJson(JsonWriter& w, const ResourceSnapshot& snap) {
+  w.beginObject();
+  w.key("peak_rss_bytes").value(snap.peak_rss_bytes);
+  w.key("cpu_seconds").valueFixed(snap.cpu_seconds, 6);
+  w.key("alloc_count").value(snap.alloc_count);
+  w.key("alloc_bytes").value(snap.alloc_bytes);
+  w.key("threads").beginArray();
+  for (const auto& row : snap.threads) {
+    w.beginObject();
+    w.key("name").value(row.name);
+    w.key("cpu_seconds").valueFixed(row.cpu_seconds, 6);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+}
+
+ResourceUsage currentUsage() {
+  ResourceUsage u;
+  u.cpu_seconds = processCpuSeconds();
+  u.alloc_count = allocCount();
+  u.alloc_bytes = allocBytes();
+  u.peak_rss_bytes = peakRssBytes();
+  return u;
+}
+
+ResourceUsage usageSince(const ResourceUsage& begin) {
+  ResourceUsage now = currentUsage();
+  ResourceUsage delta;
+  delta.cpu_seconds = now.cpu_seconds - begin.cpu_seconds;
+  delta.alloc_count = now.alloc_count - begin.alloc_count;
+  delta.alloc_bytes = now.alloc_bytes - begin.alloc_bytes;
+  delta.peak_rss_bytes = now.peak_rss_bytes;  // monotonic high-water mark
+  return delta;
+}
+
+}  // namespace eco::obs
+
+#if ECO_OBS_ALLOC_HOOKS
+
+namespace {
+
+void* countedAlloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = countedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = countedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return countedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return countedAlloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // ECO_OBS_ALLOC_HOOKS

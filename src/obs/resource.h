@@ -1,0 +1,85 @@
+#pragma once
+// Process and per-thread resource accounting for run reports, status
+// snapshots, and postmortems: peak RSS (getrusage), CPU time
+// (CLOCK_PROCESS_CPUTIME_ID / per-thread CPU clocks), and cumulative
+// allocation counters (a global operator new hook in resource.cpp,
+// compiled out under sanitizers and ECO_OBS_DISABLED builds — the
+// counters then read 0).
+//
+// Per-stage attribution works by delta: the engine captures
+// currentUsage() at a stage boundary and subtracts on exit
+// (usageSince). Peak RSS is monotonic, so a stage records the process
+// peak observed at its end rather than a delta.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/obs_config.h"
+
+namespace eco::obs {
+
+class JsonWriter;
+
+struct ResourceSnapshot {
+  std::uint64_t peak_rss_bytes = 0;  ///< process high-water mark
+  double cpu_seconds = 0;            ///< process CPU (user + system)
+  std::uint64_t alloc_count = 0;     ///< cumulative operator new calls
+  std::uint64_t alloc_bytes = 0;     ///< cumulative bytes requested
+
+  struct ThreadRow {
+    std::string name;
+    double cpu_seconds = 0;
+  };
+  std::vector<ThreadRow> threads;  ///< live registered threads, sorted
+};
+
+/// Snapshot of the process counters plus every registered thread clock.
+ResourceSnapshot snapshotResources();
+
+/// Writes {"peak_rss_bytes":..,"cpu_seconds":..,"alloc_count":..,
+/// "alloc_bytes":..,"threads":[{"name":..,"cpu_seconds":..},..]}.
+void writeResourceJson(JsonWriter& w, const ResourceSnapshot& snap);
+
+/// Process peak resident set size in bytes (getrusage ru_maxrss).
+std::uint64_t peakRssBytes();
+
+/// CPU seconds consumed by the whole process / by the calling thread.
+double processCpuSeconds();
+double threadCpuSeconds();
+
+/// Cumulative allocation counters (0 when the hook is compiled out).
+std::uint64_t allocCount();
+std::uint64_t allocBytes();
+
+/// Registers the calling thread's CPU clock under `name` for the
+/// lifetime of the object so snapshotResources can attribute CPU per
+/// thread; the thread-pool workers register themselves. Unregisters on
+/// destruction (a thread's CPU clock dies with the thread).
+class ThreadCpuRegistration {
+ public:
+  explicit ThreadCpuRegistration(std::string name);
+  ThreadCpuRegistration(const ThreadCpuRegistration&) = delete;
+  ThreadCpuRegistration& operator=(const ThreadCpuRegistration&) = delete;
+  ~ThreadCpuRegistration();
+
+ private:
+  std::uint64_t id_ = 0;
+};
+
+/// Point-in-time usage for stage deltas (cheap: two syscalls + two
+/// relaxed loads; no thread iteration).
+struct ResourceUsage {
+  double cpu_seconds = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t peak_rss_bytes = 0;
+};
+
+ResourceUsage currentUsage();
+
+/// Delta against an earlier currentUsage(); peak_rss_bytes carries the
+/// current (monotonic) peak, not a difference.
+ResourceUsage usageSince(const ResourceUsage& begin);
+
+}  // namespace eco::obs

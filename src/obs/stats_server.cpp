@@ -1,0 +1,134 @@
+#include "obs/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "obs/progress.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
+
+namespace eco::obs {
+namespace {
+
+void sendAll(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void sendResponse(int fd, const char* status, const char* content_type,
+                  const std::string& body) {
+  std::string head = "HTTP/1.1 ";
+  head += status;
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: ";
+  head += std::to_string(body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  sendAll(fd, head);
+  sendAll(fd, body);
+}
+
+/// Reads until the end of the request head (or 4 KB / 2 s give up) and
+/// returns the request target of a GET, "" otherwise.
+std::string requestTarget(int fd) {
+  std::string req;
+  char buf[1024];
+  while (req.size() < 4096 && req.find("\r\n\r\n") == std::string::npos) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 2000) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+    if (req.find("\r\n") != std::string::npos) break;  // request line is in
+  }
+  if (req.rfind("GET ", 0) != 0) return "";
+  const std::size_t end = req.find(' ', 4);
+  if (end == std::string::npos) return "";
+  return req.substr(4, end - 4);
+}
+
+}  // namespace
+
+bool StatsServer::start(std::uint16_t port, std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (running_) return fail("stats server already running");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return fail("cannot bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return fail("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    ::close(fd);
+    return fail("getsockname() failed");
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread(&StatsServer::serve, this);
+  running_ = true;
+  return true;
+}
+
+void StatsServer::stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+  running_ = false;
+}
+
+void StatsServer::serve() {
+  setThreadName("obs-stats");
+  while (!stop_.load(std::memory_order_acquire)) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    if (::poll(&pfd, 1, 100) <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    const std::string target = requestTarget(client);
+    if (target == "/metrics") {
+      sendResponse(client, "200 OK", "text/plain; version=0.0.4",
+                   prometheusText());
+    } else if (target == "/status") {
+      sendResponse(client, "200 OK", "application/json", statusJson() + "\n");
+    } else if (target.empty()) {
+      sendResponse(client, "400 Bad Request", "text/plain",
+                   "only GET is supported\n");
+    } else {
+      sendResponse(client, "404 Not Found", "text/plain",
+                   "try /metrics or /status\n");
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace eco::obs

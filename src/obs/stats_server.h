@@ -1,0 +1,51 @@
+#pragma once
+// Embeddable stats endpoint: a loopback-only HTTP/1.1 listener serving
+// GET /metrics (Prometheus text, prometheus.h) and GET /status (the
+// one-line "ecopatch-status" JSON, progress.h). One background thread,
+// one request per connection, Connection: close — deliberately not a web
+// server, just enough for `curl`, a Prometheus scraper, or the CI
+// exposition check. The stepping stone to tools/ecopatch_serve
+// (ROADMAP "ECO-as-a-service").
+//
+// Compiled in both obs modes: in ECO_OBS_DISABLED builds the endpoints
+// serve whatever the (empty) registries report, so callers need no
+// ifdefs.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace eco::obs {
+
+class StatsServer {
+ public:
+  StatsServer() = default;
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+  ~StatsServer() { stop(); }
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port()) and
+  /// starts the accept thread. False + `error` on failure or when
+  /// already running.
+  bool start(std::uint16_t port, std::string* error = nullptr);
+
+  /// Stops the accept thread and closes the socket (idempotent).
+  void stop();
+
+  bool running() const { return running_; }
+
+  /// The bound port; 0 when not running.
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve();
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool running_ = false;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace eco::obs

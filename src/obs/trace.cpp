@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 
 namespace eco::obs {
@@ -106,6 +107,8 @@ void emitEvent(const char* name, const char* arg_name, std::uint64_t arg_value,
 
 }  // namespace
 
+std::uint64_t monotonicNs() { return nowNs(); }
+
 bool traceEnabled() {
 #if ECO_OBS_ENABLED
   return g_enabled.load(std::memory_order_relaxed);
@@ -160,6 +163,7 @@ TraceDump stopTrace() {
 
 void setThreadName(std::string name) {
 #if ECO_OBS_ENABLED
+  flightSetThreadName(name);
   ThreadBuffer& b = localBuffer();
   std::lock_guard<std::mutex> lock(registry().mutex);
   b.name = std::move(name);
@@ -232,6 +236,9 @@ Span::Span(const char* name, Mode mode) : name_(name) {
   tracing_ = traceEnabled();
   timing_ = tracing_ || mode == Mode::kTimed;
   if (timing_) start_ns_ = nowNs();
+#if ECO_OBS_ENABLED
+  flightRecordSpanBegin(name_);
+#endif
 }
 
 double Span::seconds() const {
@@ -250,6 +257,9 @@ double Span::stop() {
       }
 #endif
     }
+#if ECO_OBS_ENABLED
+    flightRecordSpanEnd(name_, dur_ns_);
+#endif
   }
   return static_cast<double>(dur_ns_) * 1e-9;
 }

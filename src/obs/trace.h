@@ -44,6 +44,11 @@ struct TraceDump {
   std::uint64_t session_ns = 0;      ///< session wall-clock length
 };
 
+/// Nanoseconds on the steady clock since the process-wide obs epoch
+/// (first use). The shared timebase for trace events, the flight
+/// recorder, live-status uptime, and heartbeats.
+std::uint64_t monotonicNs();
+
 /// True while a session is recording. One relaxed load.
 bool traceEnabled();
 

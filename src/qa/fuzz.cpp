@@ -8,6 +8,7 @@
 #include "io/instance_io.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 
 namespace eco::qa {
 namespace {
@@ -65,10 +66,18 @@ FuzzOutcome runFuzz(const FuzzOptions& options) {
          static_cast<unsigned long long>(outcome.failures),
          static_cast<double>(done) / std::max(timer.seconds(), 1e-9));
   };
-  double last_line_at = 0;
+  // Liveness contract: a progress line re-arms the heartbeat; the
+  // heartbeat (obs::Heartbeat, the generalized form of the old inline
+  // timer logic) fires only after `heartbeat_seconds` of silence.
+  obs::Heartbeat heartbeat(options.heartbeat_seconds);
+  obs::ProgressScope stage("fuzz.stage", "sweep");
 
   for (std::uint64_t i = 0; i < options.count; ++i) {
     const std::uint64_t seed = options.seed + i;
+    ECO_OBS_GAUGE_SET("fuzz.instances",
+                      static_cast<std::int64_t>(outcome.instances));
+    ECO_OBS_GAUGE_SET("fuzz.failures",
+                      static_cast<std::int64_t>(outcome.failures));
     const benchgen::FuzzSpec spec = benchgen::randomFuzzSpec(seed);
     benchgen::FuzzInstance fi;
     InstanceVerdict verdict;
@@ -127,16 +136,18 @@ FuzzOutcome runFuzz(const FuzzOptions& options) {
 
     if (options.progress_every != 0 && (i + 1) % options.progress_every == 0) {
       progressLine(i + 1, "");
-      last_line_at = timer.seconds();
-    } else if (options.heartbeat_seconds > 0 &&
-               timer.seconds() - last_line_at >= options.heartbeat_seconds) {
+      heartbeat.beat();
+    } else if (heartbeat.due()) {
       // A slow instance (or a sparse --progress setting) can leave a long
       // sweep silent for minutes; the heartbeat keeps CI logs alive.
       progressLine(i + 1, " [heartbeat]");
-      last_line_at = timer.seconds();
     }
   }
 
+  ECO_OBS_GAUGE_SET("fuzz.instances",
+                    static_cast<std::int64_t>(outcome.instances));
+  ECO_OBS_GAUGE_SET("fuzz.failures",
+                    static_cast<std::int64_t>(outcome.failures));
   outcome.seconds = timer.seconds();
   return outcome;
 }

@@ -6,6 +6,7 @@
 
 #include "base/check.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 
 namespace eco::sat {
@@ -567,6 +568,13 @@ Status Solver::search() {
     if (confl != kNoRef) {
       ++stats_conflicts_;
       ++restart_conflicts;
+      // Live progress for long queries (status API / postmortems): one
+      // relaxed store every 1024 conflicts keeps the hot loop unaffected.
+      if ((stats_conflicts_ & 1023) == 0) {
+        ECO_OBS_GAUGE_SET("sat.query_conflicts_live",
+                          static_cast<std::int64_t>(stats_conflicts_ -
+                                                    solve_start_conflicts_));
+      }
       if (decisionLevel() == 0) {
         if (log_proof_) deriveRootConflict(confl);
         ok_ = false;
@@ -686,6 +694,12 @@ Status Solver::solve(std::span<const SLit> assumptions) {
   const std::uint64_t propagations0 = stats_propagations_;
   const std::uint64_t restarts0 = stats_restarts_;
   solve_start_conflicts_ = stats_conflicts_;
+  // Live status: conflicts into the running query vs. its budget (0 = no
+  // budget). Last-writer-wins across concurrent solvers, matching the
+  // "what is happening right now" semantics of the status API.
+  ECO_OBS_GAUGE_SET("sat.query_conflicts_live", 0);
+  ECO_OBS_GAUGE_SET("sat.query_budget",
+                    conflict_budget_ >= 0 ? conflict_budget_ : 0);
   assumptions_.assign(assumptions.begin(), assumptions.end());
   const Status result = search();
   cancelUntil(0);

@@ -5,7 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
+#include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -71,6 +78,38 @@ TEST(Json, ParserRejectsMalformedInput) {
   EXPECT_FALSE(json::parse("\"unterminated", &doc, &error));
   EXPECT_FALSE(json::parse("{\"a\":1} trailing", &doc, &error));
   EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+TEST(Json, NonAsciiAndControlCharactersRoundTrip) {
+  // UTF-8 multibyte passes through verbatim; every control byte below
+  // 0x20 without a short escape becomes \u00XX. Both must survive a
+  // write -> parse round trip byte-exactly.
+  const std::string original =
+      std::string("héllo wörld \xE2\x82\xAC \xF0\x9F\x94\xA5 ") +  // € + 🔥
+      std::string("ctl:\x01\x02\x1f\x7f") + "\b\f\r";
+  JsonWriter w;
+  w.beginObject();
+  w.key("s"); w.value(original);
+  w.endObject();
+
+  // The emitted document contains no raw control bytes.
+  for (const char c : w.str()) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control byte in JSON output";
+  }
+
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::parse(w.str(), &doc, &error)) << error;
+  EXPECT_EQ(doc.find("s")->string, original);
+}
+
+TEST(Json, ParserDecodesUnicodeEscapes) {
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::parse("{\"s\":\"a\\u0041\\u00e9\\u20ac\"}", &doc, &error))
+      << error;
+  EXPECT_EQ(doc.find("s")->string, "aA\xC3\xA9\xE2\x82\xAC");  // A é €
 }
 
 TEST(Json, RawValueSplicesDocument) {
@@ -301,7 +340,338 @@ TEST(Trace, SecondSessionDoesNotReplayOldEvents) {
   }
 }
 
+// ------------------------------------------------------------ progress --
+
+TEST(Progress, GaugesAndLabelsPublish) {
+  ECO_OBS_GAUGE_SET("test.obs.gauge", 41);
+  ECO_OBS_GAUGE_ADD("test.obs.gauge", 1);
+  EXPECT_EQ(gaugeValue("test.obs.gauge"), 42);
+  EXPECT_EQ(gaugeValue("test.obs.gauge_never"), 0);
+
+  setLabel("test.obs.slot", "alpha");
+  EXPECT_STREQ(labelValue("test.obs.slot"), "alpha");
+  {
+    ProgressScope outer("test.obs.slot", "beta");
+    EXPECT_STREQ(labelValue("test.obs.slot"), "beta");
+    {
+      ProgressScope inner("test.obs.slot", "gamma");
+      EXPECT_STREQ(labelValue("test.obs.slot"), "gamma");
+    }
+    // Nested scopes unwind to the enclosing value, not to empty.
+    EXPECT_STREQ(labelValue("test.obs.slot"), "beta");
+  }
+  EXPECT_STREQ(labelValue("test.obs.slot"), "alpha");
+  setLabel("test.obs.slot", nullptr);
+  EXPECT_EQ(labelValue("test.obs.slot"), nullptr);
+}
+
+TEST(Progress, SnapshotSeesCurrentState) {
+  ECO_OBS_GAUGE_SET("test.obs.snap_gauge", 7);
+  setLabel("test.obs.snap_slot", "running");
+  const StatusSnapshot snap = snapshotStatus();
+  bool saw_gauge = false, saw_label = false;
+  for (const auto& g : snap.gauges) {
+    if (g.name == "test.obs.snap_gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(g.value, 7);
+    }
+  }
+  for (const auto& l : snap.labels) {
+    if (l.slot == "test.obs.snap_slot") {
+      saw_label = true;
+      EXPECT_EQ(l.value, "running");
+    }
+  }
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_label);
+  setLabel("test.obs.snap_slot", nullptr);
+}
+
+// ------------------------------------------------------ flight recorder --
+
+TEST(FlightRecorder, RecordsSpansAndCounts) {
+  flightSetThreadName("flight-test");
+  { Span s("test.flight.span", Span::Mode::kTimed); }
+  ECO_OBS_COUNT("test.flight.count", 5);
+
+  const FlightDump dump = snapshotFlight();
+  bool begin = false, end = false, count = false;
+  for (const auto& t : dump.threads) {
+    for (const FlightEvent& e : t.events) {
+      if (e.name == nullptr) continue;
+      const std::string name = e.name;
+      if (name == "test.flight.span") {
+        if (e.kind == FlightEvent::Kind::kSpanBegin) begin = true;
+        if (e.kind == FlightEvent::Kind::kSpanEnd) end = true;
+      } else if (name == "test.flight.count" &&
+                 e.kind == FlightEvent::Kind::kCount && e.value == 5) {
+        count = true;
+      }
+    }
+  }
+  EXPECT_TRUE(begin);
+  EXPECT_TRUE(end);
+  EXPECT_TRUE(count);
+}
+
+TEST(FlightRecorder, RingBoundsMemoryAndKeepsNewest) {
+  // Far more events than the ring holds: the snapshot stays bounded and
+  // contains the most recent events, monotonically timestamped.
+  for (int i = 0; i < 5000; ++i) ECO_OBS_COUNT("test.flight.flood", 1);
+  { Span last("test.flight.after_flood", Span::Mode::kTimed); }
+
+  const FlightDump dump = snapshotFlight();
+  bool saw_last = false;
+  for (const auto& t : dump.threads) {
+    EXPECT_LE(t.events.size(), 1024u) << "ring did not bound history";
+    std::uint64_t prev_ts = 0;
+    for (const FlightEvent& e : t.events) {
+      EXPECT_GE(e.ts_ns, prev_ts);
+      prev_ts = e.ts_ns;
+      if (e.name != nullptr &&
+          std::string(e.name) == "test.flight.after_flood") {
+        saw_last = true;
+      }
+    }
+    if (t.name == "flight-test" || t.recorded > 5000) {
+      EXPECT_GE(t.recorded, t.events.size());
+    }
+  }
+  EXPECT_TRUE(saw_last);
+}
+
+TEST(FlightRecorder, WorkerThreadsGetOwnRings) {
+  std::thread worker([] {
+    setThreadName("flight-worker");
+    ECO_OBS_COUNT("test.flight.worker_count", 1);
+  });
+  worker.join();
+  const FlightDump dump = snapshotFlight();
+  bool saw = false;
+  for (const auto& t : dump.threads) {
+    if (t.name != "flight-worker") continue;
+    for (const FlightEvent& e : t.events) {
+      if (e.name != nullptr &&
+          std::string(e.name) == "test.flight.worker_count") {
+        saw = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
 #endif  // ECO_OBS_ENABLED
+
+// The documents below must stay schema-valid in BOTH obs modes: an
+// ECO_OBS_DISABLED build still serves /status and writes postmortems,
+// just with empty registries.
+
+TEST(Progress, StatusJsonValidates) {
+  const std::string json = statusJson();
+  std::string error;
+  EXPECT_TRUE(validateStatusJson(json, &error)) << error << "\n" << json;
+  // One line: safe to stream over --status-fd.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+
+  EXPECT_FALSE(validateStatusJson("{}", &error));
+  EXPECT_FALSE(validateStatusJson("not json", &error));
+  std::string wrong = json;
+  const auto pos = wrong.find("ecopatch-status");
+  ASSERT_NE(pos, std::string::npos);
+  wrong.replace(pos, 15, "ecopatch-nonsns");
+  EXPECT_FALSE(validateStatusJson(wrong, &error));
+}
+
+TEST(Progress, HeartbeatFiresAfterSilence) {
+  Heartbeat hb(0.05);
+  EXPECT_FALSE(hb.due());  // armed at construction, no silence yet
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(hb.due());
+  EXPECT_FALSE(hb.due());  // edge-triggered: re-armed by the firing
+  hb.beat();
+  EXPECT_FALSE(hb.due());
+
+  Heartbeat never(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(never.due());  // non-positive period never fires
+}
+
+TEST(FlightRecorder, PostmortemJsonValidates) {
+  const std::string json = postmortemJson("unit-test", "synthetic dump");
+  std::string error;
+  EXPECT_TRUE(validatePostmortemJson(json, &error)) << error << "\n" << json;
+
+  json::Value doc;
+  ASSERT_TRUE(json::parse(json, &doc, &error)) << error;
+  EXPECT_EQ(doc.find("schema")->string, kPostmortemSchema);
+  EXPECT_EQ(doc.find("reason")->string, "unit-test");
+  EXPECT_EQ(doc.find("detail")->string, "synthetic dump");
+  ASSERT_TRUE(doc.find("threads")->isArray());
+
+  EXPECT_FALSE(validatePostmortemJson("{}", &error));
+  EXPECT_FALSE(validatePostmortemJson("[]", &error));
+}
+
+TEST(FlightRecorder, DumpPostmortemWritesConfiguredPathOnce) {
+  const std::string path =
+      ::testing::TempDir() + "/eco_obs_postmortem_test.json";
+  std::remove(path.c_str());
+
+  // Disabled by default: no path, no file, no error.
+  setPostmortemPath(nullptr);
+  EXPECT_FALSE(dumpPostmortem("unit-test", "ignored"));
+
+  setPostmortemPath(path.c_str());
+  EXPECT_EQ(postmortemPath(), path);
+  EXPECT_TRUE(dumpPostmortem("unit-test", "first"));
+  // Single-shot: the first dump wins until the path is reconfigured.
+  EXPECT_FALSE(dumpPostmortem("unit-test", "second"));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string error;
+  EXPECT_TRUE(validatePostmortemJson(ss.str(), &error)) << error;
+  json::Value doc;
+  ASSERT_TRUE(json::parse(ss.str(), &doc, &error)) << error;
+  EXPECT_EQ(doc.find("detail")->string, "first");
+
+  setPostmortemPath(nullptr);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------- prometheus --
+
+TEST(Prometheus, LabelEscaping) {
+  std::string out;
+  appendPrometheusLabelEscaped(out, "a\\b\"c\nd");
+  EXPECT_EQ(out, "a\\\\b\\\"c\\nd");
+}
+
+TEST(Prometheus, NameSanitization) {
+  std::string out;
+  appendPrometheusName(out, "sat.conflicts-per run:x");
+  EXPECT_EQ(out, "sat_conflicts_per_run:x");
+}
+
+TEST(Prometheus, ExpositionIsWellFormed) {
+  ECO_OBS_COUNT("test.obs.prom_counter", 3);
+  ECO_OBS_OBSERVE("test.obs.prom_hist", 6);
+  const std::string text = prometheusText();
+
+  // Every line is a comment or `name{labels} value` with a sane name.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE ecopatch_", 0), 0u) << line;
+      continue;
+    }
+    EXPECT_EQ(line.rfind("ecopatch_", 0), 0u) << line;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    char* end = nullptr;
+    (void)std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "non-numeric sample value: " << line;
+  }
+
+#if ECO_OBS_ENABLED
+  EXPECT_NE(text.find("# TYPE ecopatch_test_obs_prom_counter_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("ecopatch_test_obs_prom_hist_count"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+
+  // Histogram buckets are cumulative and end at the count.
+  ECO_OBS_OBSERVE("test.obs.prom_cumulative", 1);
+  ECO_OBS_OBSERVE("test.obs.prom_cumulative", 100);
+  const std::string text2 = prometheusText();
+  std::uint64_t prev = 0;
+  std::uint64_t last = 0;
+  std::istringstream lines2(text2);
+  while (std::getline(lines2, line)) {
+    if (line.rfind("ecopatch_test_obs_prom_cumulative_bucket", 0) != 0) {
+      continue;
+    }
+    const std::uint64_t v =
+        std::strtoull(line.substr(line.rfind(' ') + 1).c_str(), nullptr, 10);
+    EXPECT_GE(v, prev) << "buckets must be cumulative: " << line;
+    prev = v;
+    last = v;
+  }
+  EXPECT_EQ(last, 2u);  // +Inf bucket equals the observation count
+#endif  // ECO_OBS_ENABLED
+
+  // The resource series are present in both obs modes.
+  EXPECT_NE(text.find("ecopatch_peak_rss_bytes"), std::string::npos);
+  EXPECT_NE(text.find("ecopatch_cpu_seconds_total"), std::string::npos);
+}
+
+// ------------------------------------------------------------ resource --
+
+TEST(Resource, SnapshotIsPlausible) {
+  const ResourceSnapshot snap = snapshotResources();
+  EXPECT_GT(snap.peak_rss_bytes, 0u);
+  EXPECT_GE(snap.cpu_seconds, 0.0);
+
+  JsonWriter w;
+  writeResourceJson(w, snap);
+  json::Value doc;
+  std::string error;
+  ASSERT_TRUE(json::parse(w.str(), &doc, &error)) << error;
+  EXPECT_GT(doc.find("peak_rss_bytes")->number, 0.0);
+  ASSERT_TRUE(doc.find("threads")->isArray());
+}
+
+TEST(Resource, ThreadCpuRegistrationAppearsInSnapshot) {
+  std::atomic<bool> go{false};
+  std::thread t([&] {
+    ThreadCpuRegistration reg("resource-test-thread");
+    // Burn a little CPU so the clock reads nonzero.
+    volatile std::uint64_t x = 0;
+    for (int i = 0; i < 2000000; ++i) x += i;
+    go.store(true);
+    while (go.load()) std::this_thread::yield();
+  });
+  while (!go.load()) std::this_thread::yield();
+  const ResourceSnapshot snap = snapshotResources();
+  bool saw = false;
+  for (const auto& row : snap.threads) {
+    if (row.name == "resource-test-thread") {
+      saw = true;
+      EXPECT_GE(row.cpu_seconds, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw);
+  go.store(false);
+  t.join();
+
+  // After the registration dies the row is gone.
+  const ResourceSnapshot after = snapshotResources();
+  for (const auto& row : after.threads) {
+    EXPECT_NE(row.name, "resource-test-thread");
+  }
+}
+
+TEST(Resource, UsageSinceComputesDeltas) {
+  const ResourceUsage begin = currentUsage();
+  std::vector<std::unique_ptr<std::uint64_t>> keep;
+  for (int i = 0; i < 1000; ++i) {
+    keep.push_back(std::make_unique<std::uint64_t>(i));
+  }
+  const ResourceUsage delta = usageSince(begin);
+  EXPECT_GE(delta.cpu_seconds, 0.0);
+  // Peak RSS carries the current monotonic peak, not a delta.
+  EXPECT_GE(delta.peak_rss_bytes, begin.peak_rss_bytes);
+  // The allocation hook is compiled out under sanitizers and
+  // ECO_OBS_DISABLED; a nonzero global count means it is live.
+  if (allocCount() != 0) {
+    EXPECT_GE(delta.alloc_count, 1000u);
+  }
+}
 
 }  // namespace
 }  // namespace eco::obs

@@ -1,0 +1,226 @@
+// End-to-end tests for the live-introspection surface: the embeddable
+// stats server (/metrics, /status), the status emitter thread, and the
+// postmortem dump paths (CheckError at the throw site; a fatal signal in
+// a forked child through the crash handlers).
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "base/check.h"
+#include "obs/obs.h"
+
+namespace eco::obs {
+namespace {
+
+// Minimal HTTP client: one GET, read until the peer closes.
+std::string httpGet(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + target + " HTTP/1.1\r\n"
+                          "Host: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  (void)!::write(fd, req.data(), req.size());
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string body(const std::string& response) {
+  const auto pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(StatsServer, ServesMetricsAndStatus) {
+  StatsServer server;
+  std::string error;
+  ASSERT_TRUE(server.start(0, &error)) << error;  // 0 = ephemeral port
+  ASSERT_NE(server.port(), 0);
+  EXPECT_TRUE(server.running());
+
+  const std::string metrics = httpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(body(metrics).find("ecopatch_"), std::string::npos);
+
+  const std::string status = httpGet(server.port(), "/status");
+  EXPECT_NE(status.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(status.find("application/json"), std::string::npos);
+  std::string verror;
+  EXPECT_TRUE(validateStatusJson(body(status), &verror)) << verror;
+
+  EXPECT_NE(httpGet(server.port(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+}
+
+TEST(StatsServer, RestartsAndRefusesDoubleStart) {
+  StatsServer server;
+  ASSERT_TRUE(server.start(0));
+  const std::uint16_t first = server.port();
+  EXPECT_FALSE(server.start(0)) << "second start must be refused";
+  EXPECT_EQ(server.port(), first);
+  server.stop();
+  ASSERT_TRUE(server.start(0));
+  EXPECT_FALSE(body(httpGet(server.port(), "/metrics")).empty());
+  server.stop();
+}
+
+TEST(StatusEmitter, StreamsValidStatusLines) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_TRUE(startStatusEmitter(fds[1], 0.05));
+  EXPECT_FALSE(startStatusEmitter(fds[1], 0.05)) << "already running";
+  requestStatusDump();  // on-demand line in addition to the periodic ones
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  stopStatusEmitter();
+  ::close(fds[1]);
+
+  std::string stream;
+  char buf[65536];
+  ssize_t n;
+  while ((n = ::read(fds[0], buf, sizeof(buf))) > 0) {
+    stream.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fds[0]);
+
+  std::istringstream lines(stream);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    ++count;
+    std::string error;
+    EXPECT_TRUE(validateStatusJson(line, &error)) << error << "\n" << line;
+  }
+  // ~250ms at a 50ms period plus the requested dump and the final line.
+  EXPECT_GE(count, 3u);
+}
+
+TEST(Postmortem, CheckErrorDumpsAtThrowSite) {
+  const std::string path = ::testing::TempDir() + "/eco_check_postmortem.json";
+  std::remove(path.c_str());
+  setPostmortemPath(path.c_str());
+
+  // The dump happens inside checkFailed, before unwinding: the stage
+  // label active at the throw site must appear in the postmortem even
+  // though this scope is gone by the time the exception is caught.
+  EXPECT_THROW(
+      {
+        ProgressScope stage("engine.stage", "postmortem-test-stage");
+        ECO_CHECK_MSG(false, "planted failure");
+      },
+      CheckError);
+  setPostmortemPath(nullptr);
+
+  const std::string json = readFile(path);
+  ASSERT_FALSE(json.empty()) << "no postmortem written to " << path;
+  std::string error;
+  EXPECT_TRUE(validatePostmortemJson(json, &error)) << error;
+
+  json::Value doc;
+  ASSERT_TRUE(json::parse(json, &doc, &error)) << error;
+  EXPECT_EQ(doc.find("reason")->string, "check-error");
+  EXPECT_NE(doc.find("detail")->string.find("planted failure"),
+            std::string::npos);
+#if ECO_OBS_ENABLED
+  const json::Value* labels = doc.find("labels");
+  ASSERT_NE(labels->find("engine.stage"), nullptr);
+  EXPECT_EQ(labels->find("engine.stage")->string, "postmortem-test-stage");
+#endif
+  std::remove(path.c_str());
+}
+
+TEST(Postmortem, FatalSignalInChildDumpsViaCrashHandlers) {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "sanitizer runtimes intercept fatal signals";
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  GTEST_SKIP() << "sanitizer runtimes intercept fatal signals";
+#endif
+#endif
+  const std::string path = ::testing::TempDir() + "/eco_crash_postmortem.json";
+  std::remove(path.c_str());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: configure the dump, record some activity, then die the way
+    // a real crash does. _exit on any unexpected path so gtest state
+    // never doubles up.
+    setPostmortemPath(path.c_str());
+    installCrashHandlers();
+    setLabel("engine.stage", "child-crash-stage");
+    { Span s("child.crash.span", Span::Mode::kTimed); }
+    ::raise(SIGSEGV);
+    ::_exit(97);  // unreachable if the handler re-raises correctly
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  // The handler re-raises with default disposition: death by SIGSEGV,
+  // not a clean exit.
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited with "
+                                   << WEXITSTATUS(status);
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  const std::string json = readFile(path);
+  ASSERT_FALSE(json.empty()) << "crash handler wrote no postmortem";
+  std::string error;
+  EXPECT_TRUE(validatePostmortemJson(json, &error)) << error;
+  json::Value doc;
+  ASSERT_TRUE(json::parse(json, &doc, &error)) << error;
+  EXPECT_EQ(doc.find("reason")->string, "signal:SIGSEGV");
+#if ECO_OBS_ENABLED
+  EXPECT_EQ(doc.find("labels")->find("engine.stage")->string,
+            "child-crash-stage");
+  bool saw_span = false;
+  for (const json::Value& t : doc.find("threads")->array) {
+    for (const json::Value& e : t.find("events")->array) {
+      if (e.find("name")->string == "child.crash.span") saw_span = true;
+    }
+  }
+  EXPECT_TRUE(saw_span);
+#endif
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace eco::obs

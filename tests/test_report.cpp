@@ -8,6 +8,7 @@
 #include "eco/report.h"
 #include "eco/report_json.h"
 #include "obs/json.h"
+#include "obs/obs_config.h"
 
 namespace eco {
 namespace {
@@ -185,6 +186,81 @@ TEST(ReportJson, ValidatorRejectsCorruptReports) {
   no_stages.replace(spos, 8, "\"st_ges\"");
   EXPECT_FALSE(validateJsonReport(no_stages, &error));
   EXPECT_NE(error.find("stages"), std::string::npos);
+}
+
+TEST(ReportJson, V2ReportCarriesResourceAttribution) {
+  const EcoInstance inst = tinyInstance();
+  const PatchResult r = EcoEngine().run(inst);
+  ASSERT_TRUE(r.success);
+  const std::string json = writeJsonReport(inst, r);
+
+  obs::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(json, &doc, &error)) << error;
+  EXPECT_EQ(doc.find("schema_version")->number,
+            static_cast<double>(kRunReportSchemaVersion));
+  const obs::json::Value* res = doc.find("resources");
+  ASSERT_NE(res, nullptr);
+  EXPECT_GE(res->find("cpu_seconds")->number, 0.0);
+#if ECO_OBS_ENABLED
+  // RSS is real on any run; allocation counters need the obs alloc hook,
+  // which sanitizer builds compile out even with obs enabled.
+  EXPECT_GT(res->find("peak_rss_bytes")->number, 0.0);
+#endif
+  // One row per engine stage that ran, in run order.
+  const obs::json::Value* stages = res->find("stages");
+  ASSERT_TRUE(stages->isArray());
+  ASSERT_FALSE(stages->array.empty());
+  EXPECT_EQ(stages->array.front().find("stage")->string, "setup");
+  for (const obs::json::Value& s : stages->array) {
+    EXPECT_GE(s.find("cpu_seconds")->number, 0.0);
+    ASSERT_NE(s.find("peak_rss_bytes"), nullptr);
+  }
+  ASSERT_TRUE(res->find("threads")->isArray());
+}
+
+TEST(ReportJson, ValidatorAcceptsV1WithoutResources) {
+  // Backward compatibility: a v1 document (pre-resources) must stay valid.
+  const EcoInstance inst = tinyInstance();
+  PatchResult r;
+  r.success = true;
+  std::string v1 = writeJsonReport(inst, r);
+  const auto vpos = v1.find("\"schema_version\":2");
+  ASSERT_NE(vpos, std::string::npos);
+  v1.replace(vpos, 18, "\"schema_version\":1");
+  const auto rpos = v1.find(",\"resources\":{");
+  ASSERT_NE(rpos, std::string::npos);
+  const auto rend = v1.find(",\"base\"", rpos);
+  const auto rend2 = rend == std::string::npos ? v1.find(",\"metrics\"", rpos) : rend;
+  const auto cut = rend2 == std::string::npos ? v1.rfind('}') : rend2;
+  v1.erase(rpos, cut - rpos);
+  std::string error;
+  EXPECT_TRUE(validateJsonReport(v1, &error)) << error;
+}
+
+TEST(ReportJson, ValidatorRequiresResourcesAtV2) {
+  const EcoInstance inst = tinyInstance();
+  PatchResult r;
+  r.success = true;
+  std::string v2 = writeJsonReport(inst, r);
+  ASSERT_TRUE(validateJsonReport(v2));
+
+  // Same document minus the resources section: invalid at version 2.
+  const auto rpos = v2.find("\"resources\"");
+  ASSERT_NE(rpos, std::string::npos);
+  std::string no_res = v2;
+  no_res.replace(rpos, 11, "\"res_urces\"");
+  std::string error;
+  EXPECT_FALSE(validateJsonReport(no_res, &error));
+  EXPECT_NE(error.find("resources"), std::string::npos);
+
+  // Unknown future version: rejected.
+  std::string v9 = v2;
+  const auto vpos = v9.find("\"schema_version\":2");
+  ASSERT_NE(vpos, std::string::npos);
+  v9.replace(vpos, 18, "\"schema_version\":9");
+  EXPECT_FALSE(validateJsonReport(v9, &error));
+  EXPECT_NE(error.find("schema_version"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Smoke-checks the live /metrics endpoint: starts ecopatch_cli with an
+# embedded stats server on an ephemeral port, scrapes /metrics and /status
+# mid-run, and validates the Prometheus exposition format (0.0.4) plus the
+# presence of the SAT conflict counters. Used by the CI tier-1 step; also
+# runnable locally:
+#
+#   tools/check_metrics_endpoint.sh <build-dir>
+#
+# Exits nonzero when the endpoint is unreachable, malformed, or missing
+# the expected series.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+CLI="$BUILD_DIR/examples/ecopatch_cli"
+GEN="$BUILD_DIR/examples/make_benchmarks"
+[[ -x $CLI && -x $GEN ]] || {
+  echo "check_metrics_endpoint: missing $CLI or $GEN (build first)" >&2
+  exit 1
+}
+
+WORK=$(mktemp -d)
+trap 'kill "$CLI_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+"$GEN" "$WORK" >/dev/null
+
+# unit19 runs for several seconds in Release: long enough to scrape
+# mid-flight. --rounds 6 stretches the optimization stage as a buffer on
+# fast machines.
+"$CLI" -f "$WORK/unit19/F.v" -g "$WORK/unit19/G.v" -w "$WORK/unit19/weight.txt" \
+  --metrics-port 0 --rounds 6 --quiet -o /dev/null 2>"$WORK/stderr.txt" &
+CLI_PID=$!
+
+# The CLI prints "serving http://127.0.0.1:PORT/metrics" once bound.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's|.*http://127\.0\.0\.1:\([0-9]*\)/metrics.*|\1|p' \
+    "$WORK/stderr.txt" | head -n1)
+  [[ -n $PORT ]] && break
+  kill -0 "$CLI_PID" 2>/dev/null || {
+    echo "check_metrics_endpoint: CLI exited before binding" >&2
+    cat "$WORK/stderr.txt" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+[[ -n $PORT ]] || { echo "check_metrics_endpoint: no port announced" >&2; exit 1; }
+
+curl -sf "http://127.0.0.1:$PORT/metrics" -o "$WORK/metrics.txt"
+curl -sf "http://127.0.0.1:$PORT/status" -o "$WORK/status.json"
+
+# Exposition format: every line is "# TYPE ecopatch_* counter|gauge|histogram"
+# or "name[{labels}] value" with a numeric value.
+awk '
+  /^# TYPE ecopatch_[a-zA-Z0-9_:]+ (counter|gauge|histogram)$/ { next }
+  /^#/ { print "bad comment line: " $0; bad = 1; next }
+  {
+    if ($0 !~ /^ecopatch_[a-zA-Z0-9_:]+(\{[^}]*\})? -?[0-9+][0-9a-zA-Z_.+-]*$/) {
+      print "bad sample line: " $0
+      bad = 1
+    }
+  }
+  END { exit bad }
+' "$WORK/metrics.txt"
+
+# The scrape happened during (or after) a real engine run: the SAT core
+# counters must be present.
+grep -q '^# TYPE ecopatch_sat_conflicts_total counter$' "$WORK/metrics.txt"
+grep -q '^ecopatch_sat_conflicts_total ' "$WORK/metrics.txt"
+grep -q '^ecopatch_peak_rss_bytes ' "$WORK/metrics.txt"
+grep -q '"schema":"ecopatch-status"' "$WORK/status.json"
+
+wait "$CLI_PID"
+echo "check_metrics_endpoint: OK (port $PORT," \
+  "$(wc -l <"$WORK/metrics.txt") exposition lines)"

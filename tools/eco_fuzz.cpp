@@ -24,6 +24,8 @@
 //   --progress N      progress line every N instances (default count/10)
 //   --heartbeat S     also emit a progress line after S silent seconds
 //                     (default 30; 0 disables)
+//   --postmortem FILE dump a flight-recorder postmortem JSON to FILE on a
+//                     crash signal or audit failure (see obs/flight_recorder.h)
 //   --json FILE       write a machine-readable sweep report
 //   --trace FILE      record a Chrome trace_event JSON of the whole sweep
 //   --quiet           suppress progress (failures still print)
@@ -37,6 +39,7 @@
 #include <string>
 
 #include "check/check.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "qa/fuzz.h"
 
@@ -47,8 +50,8 @@ namespace {
                "usage: eco_fuzz [--seed N] [--count N] [--threads N] "
                "[--plant-bug flip-po|misreport-cost] [--out DIR] "
                "[--no-shrink] [--max-failures N] [--check[=LEVEL]] "
-               "[--progress N] [--heartbeat S] [--json FILE] [--trace FILE] "
-               "[--quiet]\n");
+               "[--progress N] [--heartbeat S] [--postmortem FILE] "
+               "[--json FILE] [--trace FILE] [--quiet]\n");
   std::exit(1);
 }
 
@@ -56,6 +59,21 @@ std::uint64_t parseU64(const char* s) {
   char* end = nullptr;
   const unsigned long long v = std::strtoull(s, &end, 10);
   if (end == s || *end != '\0') usage();
+  return v;
+}
+
+// strtod without the end-pointer check silently maps garbage to 0 (which
+// *disables* the heartbeat); reject non-numeric and negative input instead.
+double parseSeconds(const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !(v >= 0)) {
+    std::fprintf(stderr,
+                 "eco_fuzz: expected a non-negative number of seconds, "
+                 "got '%s'\n",
+                 s);
+    usage();
+  }
   return v;
 }
 
@@ -70,7 +88,7 @@ int main(int argc, char** argv) {
   std::uint32_t threads = 0;
   bool quiet = false;
   std::uint64_t progress = 0;
-  std::string json_path, trace_path;
+  std::string json_path, trace_path, postmortem_path;
 
   for (int i = 1; i < argc; ++i) {
     const auto arg = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
@@ -108,7 +126,9 @@ int main(int argc, char** argv) {
     } else if (arg("--progress")) {
       progress = parseU64(value());
     } else if (arg("--heartbeat")) {
-      opt.heartbeat_seconds = std::strtod(value(), nullptr);
+      opt.heartbeat_seconds = parseSeconds(value());
+    } else if (arg("--postmortem")) {
+      postmortem_path = value();
     } else if (arg("--json")) {
       json_path = value();
     } else if (arg("--trace")) {
@@ -122,6 +142,10 @@ int main(int argc, char** argv) {
   opt.check.matrix = qa::defaultMatrix(threads);
   opt.progress_every = quiet ? 0 : (progress != 0 ? progress : opt.count / 10);
   if (quiet) opt.heartbeat_seconds = 0;
+  if (!postmortem_path.empty()) {
+    obs::setPostmortemPath(postmortem_path.c_str());
+    obs::installCrashHandlers();
+  }
 
   if (!trace_path.empty()) obs::startTrace();
   const qa::FuzzOutcome outcome = qa::runFuzz(opt);
